@@ -1,0 +1,116 @@
+//! Criterion end-to-end bench: a miniature Figure 4/5 pipeline — the same
+//! workload replayed through cache-less Method M, GC+/EVI and GC+/CON,
+//! with the dataset churning per a scaled change plan. The three
+//! measurements side by side are the figure's bars in microcosm: expect
+//! `VF2 > EVI > CON` per-iteration time.
+//!
+//! Also contains the policy ablation (HD vs PIN vs PINC vs LRU/LFU) that
+//! DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gc_bench::{build_dataset, build_plan, build_type_a_workloads, Scale};
+use gc_core::{baseline_execute, CacheModel, GcConfig, GraphCachePlus, Policy};
+use gc_dataset::{GraphStore, PlanExecutor};
+use gc_subiso::{Algorithm, MethodM};
+
+fn tiny_scale() -> Scale {
+    Scale {
+        dataset_graphs: 60,
+        num_queries: 80,
+        positive_pool: 20,
+        noanswer_pool: 5,
+        seed: 1234,
+    }
+}
+
+fn bench_models(c: &mut Criterion) {
+    let scale = tiny_scale();
+    let dataset = build_dataset(&scale);
+    let plan = build_plan(&scale);
+    let workload = build_type_a_workloads(&dataset, &scale).remove(0); // ZZ
+
+    let mut group = c.benchmark_group("endtoend_zz_vf2plus");
+    group.sample_size(10);
+
+    group.bench_function("baseline", |b| {
+        b.iter(|| {
+            let mut store = GraphStore::from_graphs(dataset.clone());
+            let mut log = gc_dataset::ChangeLog::new();
+            let mut exec = PlanExecutor::new(plan.clone(), dataset.clone(), 7);
+            let method = MethodM::new(Algorithm::Vf2Plus);
+            let mut answered = 0usize;
+            for (i, q) in workload.queries.iter().enumerate() {
+                exec.apply_due(i, &mut store, &mut log);
+                answered += baseline_execute(&store, &method, q, workload.kind)
+                    .answer
+                    .count_ones();
+            }
+            answered
+        })
+    });
+
+    for model in [CacheModel::Evi, CacheModel::Con] {
+        group.bench_with_input(
+            BenchmarkId::new("gcplus", model.name()),
+            &model,
+            |b, &model| {
+                b.iter(|| {
+                    let config = GcConfig {
+                        model,
+                        method: MethodM::new(Algorithm::Vf2Plus),
+                        ..GcConfig::default()
+                    };
+                    let mut gc = GraphCachePlus::new(config, dataset.clone());
+                    let mut exec = PlanExecutor::new(plan.clone(), dataset.clone(), 7);
+                    let mut answered = 0usize;
+                    for (i, q) in workload.queries.iter().enumerate() {
+                        gc.with_dataset(|store, log| exec.apply_due(i, store, log));
+                        answered += gc.execute(q, workload.kind).answer.count_ones();
+                    }
+                    answered
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let scale = tiny_scale();
+    let dataset = build_dataset(&scale);
+    let plan = build_plan(&scale);
+    let workload = build_type_a_workloads(&dataset, &scale).remove(0);
+
+    let mut group = c.benchmark_group("policy_ablation_con");
+    group.sample_size(10);
+    for policy in [Policy::Hybrid, Policy::Pin, Policy::Pinc, Policy::Lru, Policy::Lfu] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let config = GcConfig {
+                        policy,
+                        // tighten the cache so replacement actually runs
+                        cache_capacity: 20,
+                        window_capacity: 5,
+                        method: MethodM::new(Algorithm::Vf2Plus),
+                        ..GcConfig::default()
+                    };
+                    let mut gc = GraphCachePlus::new(config, dataset.clone());
+                    let mut exec = PlanExecutor::new(plan.clone(), dataset.clone(), 7);
+                    let mut tests = 0u64;
+                    for (i, q) in workload.queries.iter().enumerate() {
+                        gc.with_dataset(|store, log| exec.apply_due(i, store, log));
+                        tests += gc.execute(q, workload.kind).metrics.subiso_tests;
+                    }
+                    tests
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion micro-bench: the Candidate Set Pruner (formulas (1)–(5)) and
+//! the underlying bitset algebra at the paper's id-span scale. Pruning is
+//! pure bit manipulation; this bench demonstrates it is negligible next to
+//! even one sub-iso test.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gc_core::cache::CacheManager;
+use gc_core::config::Policy;
+use gc_core::entry::CachedQuery;
+use gc_core::processor::{EntryRef, Hits};
+use gc_core::pruner::prune;
+use gc_core::window::Window;
+use gc_graph::{BitSet, LabeledGraph};
+use gc_subiso::QueryKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_bitset(rng: &mut StdRng, span: usize, density: f64) -> BitSet {
+    BitSet::from_indices((0..span).filter(|_| rng.random::<f64>() < density))
+}
+
+/// Builds a cache of `hits` entries with random answers/validity over
+/// `span` ids, plus a Hits struct referencing all of them both ways.
+fn scenario(span: usize, hit_count: usize) -> (BitSet, Hits, CacheManager, Window) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut entries = Vec::new();
+    for _ in 0..hit_count {
+        let graph = LabeledGraph::from_parts(vec![0, 0], &[(0, 1)]).expect("valid");
+        let mut e = CachedQuery::new(
+            graph,
+            QueryKind::Subgraph,
+            random_bitset(&mut rng, span, 0.15),
+            span,
+            0,
+        );
+        e.cg_valid = random_bitset(&mut rng, span, 0.85);
+        entries.push(e);
+    }
+    let mut cache = CacheManager::new(hit_count.max(1), Policy::Pin);
+    cache.admit_batch(entries);
+    let hits = Hits {
+        direct: (0..hit_count / 2).map(EntryRef::Cache).collect(),
+        exclusion: (hit_count / 2..hit_count).map(EntryRef::Cache).collect(),
+        exact: None,
+        probes: 0,
+    };
+    let csm = random_bitset(&mut rng, span, 0.97);
+    (csm, hits, cache, Window::new(20))
+}
+
+fn bench_pruner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("candidate_set_pruner");
+    for &(span, hit_count) in &[(1_000usize, 10usize), (40_000, 10), (40_000, 120)] {
+        let (csm, hits, cache, window) = scenario(span, hit_count);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("span{span}_hits{hit_count}")),
+            &csm,
+            |b, csm| b.iter(|| prune(std::hint::black_box(csm), &hits, &cache, &window, csm)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_bitset_algebra(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let a = random_bitset(&mut rng, 40_000, 0.4);
+    let b_ = random_bitset(&mut rng, 40_000, 0.4);
+    let v = random_bitset(&mut rng, 40_000, 0.8);
+
+    c.bench_function("bitset_intersect_40k", |bch| {
+        bch.iter(|| std::hint::black_box(&a).intersection(&b_))
+    });
+    c.bench_function("bitset_retain_super_hit_40k", |bch| {
+        bch.iter_batched(
+            || a.clone(),
+            |mut cs| cs.retain_super_hit(&v, &b_),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("bitset_count_ones_40k", |bch| {
+        bch.iter(|| std::hint::black_box(&a).count_ones())
+    });
+}
+
+criterion_group!(benches, bench_pruner, bench_bitset_algebra);
+criterion_main!(benches);

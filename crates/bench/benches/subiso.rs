@@ -1,0 +1,55 @@
+//! Criterion micro-bench: the three Method M verifiers (VF2 / VF2+ / GQL)
+//! on AIDS-like targets across the paper's query sizes — the per-test cost
+//! that Figure 4's Method M axis is built from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gc_dataset::aids::{synthetic_aids, AidsConfig};
+use gc_graph::generate::bfs_extract;
+use gc_graph::LabeledGraph;
+use gc_subiso::Algorithm;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One extracted query per size against a pool of targets (the first
+/// target is the source, so at least one test is positive).
+fn cases(sizes: &[usize]) -> Vec<(usize, LabeledGraph, Vec<LabeledGraph>)> {
+    let mut rng = StdRng::seed_from_u64(42);
+    let targets = synthetic_aids(&AidsConfig::scaled(30, 7));
+    sizes
+        .iter()
+        .map(|&size| {
+            let q = loop {
+                let start = rng.random_range(0..targets[0].vertex_count() as u32);
+                if let Some(q) = bfs_extract(&mut rng, &targets[0], start, size) {
+                    break q;
+                }
+            };
+            (size, q, targets.clone())
+        })
+        .collect()
+}
+
+fn bench_subiso(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subiso_scan");
+    group.sample_size(20);
+    for (size, query, targets) in cases(&[4, 8, 12, 16, 20]) {
+        for algo in Algorithm::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), size),
+                &(query.clone(), targets.clone()),
+                |b, (q, ts)| {
+                    let m = algo.matcher();
+                    b.iter(|| {
+                        ts.iter()
+                            .filter(|t| m.contains(std::hint::black_box(q), t))
+                            .count()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_subiso);
+criterion_main!(benches);

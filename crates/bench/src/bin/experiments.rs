@@ -1,0 +1,228 @@
+//! Experiment runner — regenerates every figure of the GC+ paper.
+//!
+//! ```text
+//! experiments <command> [--scale small|medium|paper]
+//!
+//! commands:
+//!   fig4-typea   query-time speedups, Type A workloads (Fig 4 left)
+//!   fig4-typeb   query-time speedups, Type B workloads (Fig 4 right)
+//!   fig5         sub-iso test-count speedups (Fig 5)
+//!   fig6         avg time + overhead breakdown (Fig 6)
+//!   insights     §7.2 hit-type statistics (ZU vs UU etc.)
+//!   dataset      print synthetic-AIDS statistics vs the published moments
+//!   ablation     extensions: EVI vs CON vs CON-R (§8 retrospective
+//!                validation) and full-scan vs updatable-FTV-filter CS_M
+//!   all          everything above
+//! ```
+
+use std::time::Instant;
+
+use gc_bench::report::{f1, f2, pct, spx, Table};
+use gc_bench::{
+    build_all_workloads, build_dataset, build_plan, build_type_a_workloads,
+    build_type_b_workloads, run_fig4, run_fig5, run_fig6, run_insights, Scale,
+};
+use gc_graph::stats::DatasetStats;
+use gc_subiso::Algorithm;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <fig4-typea|fig4-typeb|fig5|fig6|insights|dataset|all> \
+         [--scale small|medium|paper]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let command = args[0].clone();
+    let mut scale = Scale::medium();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let v = args.get(i).unwrap_or_else(|| usage());
+                scale = Scale::parse(v).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let t0 = Instant::now();
+    println!(
+        "# GC+ experiments — scale: {} graphs, {} queries\n",
+        scale.dataset_graphs, scale.num_queries
+    );
+    let dataset = build_dataset(&scale);
+    let plan = build_plan(&scale);
+    println!(
+        "dataset built in {:.1}s; change plan: {} ops\n",
+        t0.elapsed().as_secs_f64(),
+        plan.total_ops()
+    );
+
+    match command.as_str() {
+        "fig4-typea" => fig4(&dataset, &scale, &plan, true),
+        "fig4-typeb" => fig4(&dataset, &scale, &plan, false),
+        "fig5" => fig5(&dataset, &scale, &plan),
+        "fig6" => fig6(&dataset, &scale, &plan),
+        "insights" => insights(&dataset, &scale, &plan),
+        "dataset" => dataset_stats(&dataset),
+        "ablation" => ablation(&dataset, &scale, &plan),
+        "all" => {
+            dataset_stats(&dataset);
+            fig4(&dataset, &scale, &plan, true);
+            fig4(&dataset, &scale, &plan, false);
+            fig5(&dataset, &scale, &plan);
+            fig6(&dataset, &scale, &plan);
+            insights(&dataset, &scale, &plan);
+            ablation(&dataset, &scale, &plan);
+        }
+        _ => usage(),
+    }
+    println!("\ntotal wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+fn dataset_stats(dataset: &[gc_graph::LabeledGraph]) {
+    let stats = DatasetStats::compute(dataset);
+    println!("### Synthetic AIDS dataset (paper: ⌀45 vertices σ22 max 245; ⌀47 edges σ23 max 250)\n");
+    println!("{stats}\n");
+}
+
+fn fig4(dataset: &[gc_graph::LabeledGraph], scale: &Scale, plan: &gc_dataset::ChangePlan, type_a: bool) {
+    let workloads = if type_a {
+        build_type_a_workloads(dataset, scale)
+    } else {
+        build_type_b_workloads(dataset, scale)
+    };
+    let label = if type_a { "Type A" } else { "Type B" };
+    let rows = run_fig4(dataset, &workloads, plan, &Algorithm::ALL);
+    let mut t = Table::new(
+        &format!("Figure 4 ({label}): GC+ speedup in query time"),
+        &["method", "workload", "base avg ms", "EVI speedup", "CON speedup"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.method.to_string(),
+            r.workload.clone(),
+            f2(r.base_ms),
+            spx(r.evi_speedup),
+            spx(r.con_speedup),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn fig5(dataset: &[gc_graph::LabeledGraph], scale: &Scale, plan: &gc_dataset::ChangePlan) {
+    let workloads = build_all_workloads(dataset, scale);
+    let rows = run_fig5(dataset, &workloads, plan);
+    let mut t = Table::new(
+        "Figure 5: GC+ speedup in number of sub-iso tests (Method-M independent)",
+        &["workload", "base avg tests", "EVI speedup", "CON speedup"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.workload.clone(),
+            f1(r.base_tests),
+            spx(r.evi_speedup),
+            spx(r.con_speedup),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn fig6(dataset: &[gc_graph::LabeledGraph], scale: &Scale, plan: &gc_dataset::ChangePlan) {
+    let workloads = build_all_workloads(dataset, scale);
+    let rows = run_fig6(dataset, &workloads, plan);
+    let mut t = Table::new(
+        "Figure 6: average execution time and overhead per query (Method M = VF2)",
+        &[
+            "workload",
+            "VF2 ms",
+            "EVI ms",
+            "EVI ovh µs",
+            "CON ms",
+            "CON ovh µs",
+            "validation share of CON ovh",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.workload.clone(),
+            f2(r.vf2_ms),
+            f2(r.evi_ms),
+            f1(r.evi_overhead_ms * 1000.0),
+            f2(r.con_ms),
+            f1(r.con_overhead_ms * 1000.0),
+            pct(r.con_validation_share),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn ablation(dataset: &[gc_graph::LabeledGraph], scale: &Scale, plan: &gc_dataset::ChangePlan) {
+    let workloads = gc_bench::build_type_a_workloads(dataset, scale);
+    let w = &workloads[0]; // ZZ
+
+    for (title, oscillating) in [
+        ("Ablation: cache models under the paper's change plan (ZZ workload)", false),
+        ("Ablation: cache models under oscillating churn (UR+UA of the same edge)", true),
+    ] {
+        let rows = gc_bench::run_model_ablation(dataset, w, plan, oscillating);
+        let mut t = Table::new(title, &["model", "avg tests/query", "avg query ms"]);
+        for r in &rows {
+            t.row(vec![r.model.to_string(), f1(r.avg_tests), f2(r.avg_query_ms)]);
+        }
+        println!("{}", t.render());
+    }
+
+    let rows = gc_bench::run_ftv_ablation(dataset, w, plan);
+    let mut t = Table::new(
+        "Ablation: candidate-set source (updatable FTV label/size filter)",
+        &["configuration", "avg tests/query", "avg query ms"],
+    );
+    for r in &rows {
+        t.row(vec![r.config.to_string(), f1(r.avg_tests), f2(r.avg_query_ms)]);
+    }
+    println!("{}", t.render());
+}
+
+fn insights(dataset: &[gc_graph::LabeledGraph], scale: &Scale, plan: &gc_dataset::ChangePlan) {
+    let workloads = build_all_workloads(dataset, scale);
+    let rows = run_insights(dataset, &workloads, plan);
+    let mut t = Table::new(
+        "§7.2 insights: hit-type statistics under CON",
+        &[
+            "workload",
+            "exact-match queries",
+            "exact shortcuts",
+            "empty shortcuts",
+            "zero-test queries",
+            "direct hits",
+            "exclusion hits",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.workload.clone(),
+            r.exact_match_queries.to_string(),
+            r.exact_shortcuts.to_string(),
+            r.empty_shortcuts.to_string(),
+            r.zero_test_queries.to_string(),
+            r.direct_hits.to_string(),
+            r.exclusion_hits.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,162 @@
+//! The cache store: a bounded set of [`CachedQuery`] entries under a
+//! replacement policy.
+//!
+//! Window batches are merged in via [`CacheManager::admit_batch`]; when
+//! the merged population exceeds capacity the policy's lowest scorers are
+//! evicted (new arrivals compete with incumbents using the statistics they
+//! accumulated during their window residency — GC's admission-control
+//! rationale).
+
+use crate::config::Policy;
+use crate::entry::CachedQuery;
+use crate::policy::select_evictions;
+
+/// Bounded, policy-managed cache store.
+#[derive(Debug)]
+pub struct CacheManager {
+    entries: Vec<CachedQuery>,
+    capacity: usize,
+    policy: Policy,
+    evictions: u64,
+}
+
+impl CacheManager {
+    /// Creates an empty cache with the given capacity and policy.
+    pub fn new(capacity: usize, policy: Policy) -> Self {
+        CacheManager {
+            entries: Vec::with_capacity(capacity.min(1024)),
+            capacity,
+            policy,
+            evictions: 0,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total evictions performed (reported by the experiment harness).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Shared iteration for hit discovery.
+    pub fn iter(&self) -> impl Iterator<Item = &CachedQuery> {
+        self.entries.iter()
+    }
+
+    /// Mutable iteration for validation.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut CachedQuery> {
+        self.entries.iter_mut()
+    }
+
+    /// Indexed mutable access (hit lists carry indices).
+    pub fn get_mut(&mut self, idx: usize) -> Option<&mut CachedQuery> {
+        self.entries.get_mut(idx)
+    }
+
+    /// EVI purge.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Merges a window batch, evicting down to capacity afterwards.
+    /// Returns the number of entries evicted.
+    pub fn admit_batch(&mut self, batch: Vec<CachedQuery>) -> usize {
+        if self.capacity == 0 {
+            return batch.len();
+        }
+        self.entries.extend(batch);
+        let evict = select_evictions(self.policy, &self.entries, self.capacity);
+        let count = evict.len();
+        if count > 0 {
+            // remove indices in descending order so positions stay valid
+            let mut sorted = evict;
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            for i in sorted {
+                self.entries.swap_remove(i);
+            }
+            self.evictions += count as u64;
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::{BitSet, LabeledGraph};
+    use gc_subiso::QueryKind;
+
+    fn entry(tests_saved: u64) -> CachedQuery {
+        let mut e = CachedQuery::new(
+            LabeledGraph::from_parts(vec![0], &[]).unwrap(),
+            QueryKind::Subgraph,
+            BitSet::new(),
+            0,
+            0,
+        );
+        e.stats.tests_saved = tests_saved;
+        e
+    }
+
+    #[test]
+    fn admits_until_capacity() {
+        let mut c = CacheManager::new(3, Policy::Pin);
+        assert_eq!(c.admit_batch(vec![entry(1), entry(2)]), 0);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert_eq!(c.capacity(), 3);
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn evicts_lowest_scorers_on_overflow() {
+        let mut c = CacheManager::new(3, Policy::Pin);
+        c.admit_batch(vec![entry(10), entry(1), entry(7)]);
+        let evicted = c.admit_batch(vec![entry(5), entry(2)]);
+        assert_eq!(evicted, 2);
+        assert_eq!(c.len(), 3);
+        let mut kept: Vec<u64> = c.iter().map(|e| e.stats.tests_saved).collect();
+        kept.sort_unstable();
+        assert_eq!(kept, vec![5, 7, 10]);
+        assert_eq!(c.evictions(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut c = CacheManager::new(0, Policy::Lru);
+        assert_eq!(c.admit_batch(vec![entry(1)]), 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clear_supports_evi() {
+        let mut c = CacheManager::new(5, Policy::Hybrid);
+        c.admit_batch(vec![entry(1), entry(2)]);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.iter().count(), 0);
+    }
+
+    #[test]
+    fn indexed_access() {
+        let mut c = CacheManager::new(5, Policy::Pin);
+        c.admit_batch(vec![entry(1)]);
+        c.get_mut(0).unwrap().credit(4, 1.0, 3);
+        assert_eq!(c.iter().next().unwrap().stats.tests_saved, 5);
+        assert!(c.get_mut(9).is_none());
+        assert_eq!(c.iter_mut().count(), 1);
+    }
+}

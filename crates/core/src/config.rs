@@ -1,0 +1,157 @@
+//! GC+ configuration.
+//!
+//! Defaults follow the paper's experimental setup (§7.1): cache capacity
+//! 100, window capacity 20, the HD (hybrid) replacement policy, and the
+//! CON consistency model. Method M defaults to VF2 (the paper's
+//! most-studied base method); the internal matcher used to probe cached
+//! queries for hits is VF2+ (cheap on ≤ 21-edge query graphs).
+
+use gc_subiso::{Algorithm, MethodM};
+
+/// The GC+ cache-consistency models: the paper's two (§5) plus the
+/// retrospective extension it sketches as future work (§8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheModel {
+    /// Evict the entire cache whenever the dataset changed (§5.1).
+    Evi,
+    /// Keep per-dataset-graph validity bits refreshed by Algorithms 1 & 2
+    /// (§5.2), retaining all provably unaffected knowledge.
+    Con,
+    /// CON with *retrospective* validation: per-graph net edge deltas
+    /// instead of operation-category counters, so changes that cancel out
+    /// preserve validity (the paper's §8 future-work item).
+    ConRetro,
+}
+
+impl CacheModel {
+    /// Paper display name ("CON-R" for the retrospective extension).
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheModel::Evi => "EVI",
+            CacheModel::Con => "CON",
+            CacheModel::ConRetro => "CON-R",
+        }
+    }
+}
+
+impl std::fmt::Display for CacheModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Cache replacement policies. PIN/PINC/HD are the GC/GC+ exclusive
+/// policies of §7.1; LRU/LFU are the classical baselines GC compared
+/// against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Evict the least recently used entry.
+    Lru,
+    /// Evict the least frequently hit entry.
+    Lfu,
+    /// Score = R, the number of sub-iso tests the entry alleviated.
+    Pin,
+    /// Score = C-weighted R: estimated query-time saved (cost heuristic
+    /// from the paper's ref \[25\]).
+    Pinc,
+    /// HD: if the (squared) coefficient of variation of the R distribution
+    /// exceeds 1, use PIN's scoring, else PINC's (§7.1).
+    Hybrid,
+}
+
+impl Policy {
+    /// Paper display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Lru => "LRU",
+            Policy::Lfu => "LFU",
+            Policy::Pin => "PIN",
+            Policy::Pinc => "PINC",
+            Policy::Hybrid => "HD",
+        }
+    }
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full GC+ configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GcConfig {
+    /// Upper limit on the cache store (paper default: 100 queries).
+    pub cache_capacity: usize,
+    /// Upper limit on the window store (paper default: 20 queries).
+    pub window_capacity: usize,
+    /// Consistency model (EVI or CON).
+    pub model: CacheModel,
+    /// Replacement policy.
+    pub policy: Policy,
+    /// The external SI method GC+ expedites.
+    pub method: MethodM,
+    /// SI algorithm used *internally* to discover subgraph/supergraph
+    /// relations between the incoming query and cached queries.
+    pub internal_matcher: Algorithm,
+    /// When set, `CS_M` comes from the updatable label/size FTV filter
+    /// ([`gc_dataset::LabelIndex`]) instead of the whole live dataset —
+    /// the paper's "GC+ over an FTV method" deployment. Off by default
+    /// (the paper's SI-method setting).
+    pub use_ftv_filter: bool,
+}
+
+impl Default for GcConfig {
+    fn default() -> Self {
+        GcConfig {
+            cache_capacity: 100,
+            window_capacity: 20,
+            model: CacheModel::Con,
+            policy: Policy::Hybrid,
+            method: MethodM::new(Algorithm::Vf2),
+            internal_matcher: Algorithm::Vf2Plus,
+            use_ftv_filter: false,
+        }
+    }
+}
+
+impl GcConfig {
+    /// Paper defaults with the given Method M algorithm and model.
+    pub fn paper(method: Algorithm, model: CacheModel) -> Self {
+        GcConfig {
+            model,
+            method: MethodM::new(method),
+            ..GcConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = GcConfig::default();
+        assert_eq!(c.cache_capacity, 100);
+        assert_eq!(c.window_capacity, 20);
+        assert_eq!(c.model, CacheModel::Con);
+        assert_eq!(c.policy, Policy::Hybrid);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(CacheModel::Evi.to_string(), "EVI");
+        assert_eq!(CacheModel::Con.to_string(), "CON");
+        assert_eq!(Policy::Hybrid.to_string(), "HD");
+        assert_eq!(Policy::Pinc.name(), "PINC");
+    }
+
+    #[test]
+    fn paper_constructor() {
+        let c = GcConfig::paper(Algorithm::GraphQl, CacheModel::Evi);
+        assert_eq!(c.method.algorithm, Algorithm::GraphQl);
+        assert_eq!(c.model, CacheModel::Evi);
+        assert_eq!(c.cache_capacity, 100);
+    }
+}

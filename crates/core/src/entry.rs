@@ -1,0 +1,208 @@
+//! Cached query entries.
+//!
+//! A cached query snapshots "its relation against the dataset at execution
+//! time" (§5.2.2): the query graph, its finalized answer set, and the
+//! dataset-graph validity indicator `CGvalid` that Algorithm 2 maintains.
+//! Both `Answer` and `CGvalid` are bitsets indexed by dataset-graph id,
+//! exactly as in the paper.
+//!
+//! Entries are tagged with the [`QueryKind`] that produced them because
+//! the *semantics* of the answer set differ:
+//!
+//! * subgraph-query entry: `Answer = {G : q ⊆ G}`;
+//! * supergraph-query entry: `Answer = {G : G ⊆ q}`.
+//!
+//! Validity refreshing and candidate pruning must respect that polarity
+//! (the paper presents the subgraph side and omits the supergraph dual
+//! "for space reason"; both are implemented here — see [`crate::validator`]).
+
+use gc_graph::{BitSet, Label, LabeledGraph};
+use gc_subiso::QueryKind;
+
+/// Per-entry replacement statistics maintained by the Statistics Manager.
+#[derive(Debug, Clone, Default)]
+pub struct EntryStats {
+    /// `R` — total sub-iso tests this entry alleviated (PIN's score).
+    pub tests_saved: u64,
+    /// `C` — accumulated *estimated* query-time saved, via the cost
+    /// heuristic of the paper's ref \[25\] (PINC's score).
+    pub cost_saved: f64,
+    /// Number of queries this entry contributed to (LFU's score).
+    pub hit_count: u64,
+    /// Logical timestamp of the last contribution (LRU's score).
+    pub last_used: u64,
+    /// Logical timestamp of insertion into window.
+    pub inserted_at: u64,
+}
+
+/// A previous query residing in cache or window.
+#[derive(Debug, Clone)]
+pub struct CachedQuery {
+    /// The query graph.
+    pub graph: LabeledGraph,
+    /// Which query type produced the answer (fixes answer semantics).
+    pub kind: QueryKind,
+    /// Snapshot answer set at execution time (bit per dataset-graph id).
+    pub answer: BitSet,
+    /// Up-to-date validity indicator: bit `i` set ⟺ the cached relation
+    /// towards dataset graph `i` still holds (Algorithm 2).
+    pub cg_valid: BitSet,
+    /// Replacement statistics.
+    pub stats: EntryStats,
+    /// Cached `(|V|, |E|, label histogram)` for pre-SI quick filters.
+    signature: (usize, usize, Vec<(Label, u32)>),
+}
+
+impl CachedQuery {
+    /// Creates an entry for a just-executed query. `id_span` is the
+    /// current `max_id + 1` of the dataset: the query was verified against
+    /// every graph alive at execution time, so it "holds validity towards
+    /// its relation with all graphs in the current dataset" — bits
+    /// `0..id_span` are set (deleted ids among them are harmless: they can
+    /// never re-enter a candidate set).
+    pub fn new(
+        graph: LabeledGraph,
+        kind: QueryKind,
+        answer: BitSet,
+        id_span: usize,
+        now: u64,
+    ) -> Self {
+        let signature = graph.size_signature();
+        CachedQuery {
+            graph,
+            kind,
+            answer,
+            cg_valid: BitSet::all_set(id_span),
+            stats: EntryStats {
+                inserted_at: now,
+                last_used: now,
+                ..EntryStats::default()
+            },
+            signature,
+        }
+    }
+
+    /// Quick necessary test for `query ⊆ self.graph`.
+    pub fn may_contain_query(&self, query: &LabeledGraph) -> bool {
+        let (n, m, _) = self.signature;
+        query.vertex_count() <= n
+            && query.edge_count() <= m
+            && query.labels_dominated_by(&self.graph)
+    }
+
+    /// Quick necessary test for `self.graph ⊆ query`.
+    pub fn may_be_contained_in_query(&self, query: &LabeledGraph) -> bool {
+        let (n, m, _) = self.signature;
+        n <= query.vertex_count()
+            && m <= query.edge_count()
+            && self.graph.labels_dominated_by(query)
+    }
+
+    /// `true` iff sizes and label histograms coincide — the cheap
+    /// precondition of the §6.3 exact-match check.
+    pub fn same_signature(&self, query: &LabeledGraph) -> bool {
+        let (n, m, ref hist) = self.signature;
+        n == query.vertex_count()
+            && m == query.edge_count()
+            && *hist == query.label_histogram()
+    }
+
+    /// `true` iff this entry holds validity on every graph of the live
+    /// dataset (`live ⊆ CGvalid`) — the "holds validity on all the
+    /// up-to-date dataset graphs" condition of both §6.3 optimal cases.
+    pub fn fully_valid_on(&self, live: &BitSet) -> bool {
+        live.is_subset_of(&self.cg_valid)
+    }
+
+    /// The knowledge this entry can contribute *right now*: its valid
+    /// answers (`CGvalid ∩ Answer` — formula (1) per-entry term).
+    pub fn valid_answers(&self) -> BitSet {
+        self.cg_valid.intersection(&self.answer)
+    }
+
+    /// Records a contribution of `tests` alleviated sub-iso tests with
+    /// estimated saved cost `cost`, at logical time `now`.
+    pub fn credit(&mut self, tests: u64, cost: f64, now: u64) {
+        self.stats.tests_saved += tests;
+        self.stats.cost_saved += cost;
+        self.stats.hit_count += 1;
+        self.stats.last_used = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(labels: Vec<u16>, edges: &[(u32, u32)]) -> LabeledGraph {
+        LabeledGraph::from_parts(labels, edges).unwrap()
+    }
+
+    fn entry(graph: LabeledGraph, answer: &[usize], span: usize) -> CachedQuery {
+        CachedQuery::new(
+            graph,
+            QueryKind::Subgraph,
+            BitSet::from_indices(answer.iter().copied()),
+            span,
+            0,
+        )
+    }
+
+    #[test]
+    fn new_entry_fully_valid() {
+        let e = entry(g(vec![0, 0], &[(0, 1)]), &[1, 3], 5);
+        assert_eq!(e.cg_valid.count_ones(), 5);
+        let live = BitSet::from_indices([0usize, 1, 2, 3, 4]);
+        assert!(e.fully_valid_on(&live));
+        assert_eq!(e.valid_answers().iter_ones().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn validity_loss_detected() {
+        let mut e = entry(g(vec![0], &[]), &[0], 3);
+        e.cg_valid.set(1, false);
+        let live = BitSet::from_indices([0usize, 1, 2]);
+        assert!(!e.fully_valid_on(&live));
+        // but if graph 1 is deleted from the live set, the entry is fully
+        // valid again for the remaining graphs
+        let live2 = BitSet::from_indices([0usize, 2]);
+        assert!(e.fully_valid_on(&live2));
+    }
+
+    #[test]
+    fn quick_filters() {
+        let e = entry(g(vec![0, 0, 1], &[(0, 1), (1, 2)]), &[], 2);
+        let small = g(vec![0, 1], &[(0, 1)]);
+        let big = g(vec![0, 0, 1, 1], &[(0, 1), (1, 2), (2, 3)]);
+        assert!(e.may_contain_query(&small));
+        assert!(!e.may_contain_query(&big)); // bigger than the entry
+        assert!(e.may_be_contained_in_query(&big));
+        assert!(!e.may_be_contained_in_query(&small));
+        // label mismatch blocks in both directions
+        let alien = g(vec![9, 9, 9], &[(0, 1), (1, 2)]);
+        assert!(!e.may_contain_query(&alien));
+        assert!(!e.may_be_contained_in_query(&alien));
+    }
+
+    #[test]
+    fn signature_match_is_permutation_invariant() {
+        let e = entry(g(vec![0, 1, 2], &[(0, 1), (1, 2)]), &[], 1);
+        let same = g(vec![2, 1, 0], &[(2, 1), (1, 0)]);
+        let different = g(vec![0, 1, 2], &[(0, 1), (0, 2)]);
+        assert!(e.same_signature(&same));
+        assert!(e.same_signature(&different)); // same sizes/labels — sig only
+        let other_labels = g(vec![0, 1, 3], &[(0, 1), (1, 2)]);
+        assert!(!e.same_signature(&other_labels));
+    }
+
+    #[test]
+    fn credit_accumulates() {
+        let mut e = entry(g(vec![0], &[]), &[], 1);
+        e.credit(5, 12.5, 10);
+        e.credit(3, 2.5, 20);
+        assert_eq!(e.stats.tests_saved, 8);
+        assert_eq!(e.stats.cost_saved, 15.0);
+        assert_eq!(e.stats.hit_count, 2);
+        assert_eq!(e.stats.last_used, 20);
+    }
+}

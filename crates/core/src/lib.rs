@@ -1,0 +1,62 @@
+//! GraphCache+ (GC+) — a consistency-preserving semantic cache for
+//! subgraph/supergraph queries over *dynamic* graph datasets.
+//!
+//! This crate is the paper's primary contribution. A [`GraphCachePlus`]
+//! instance owns the dataset ([`gc_dataset::GraphStore`] + change log) and
+//! the cache subsystems of Figure 1:
+//!
+//! * **Dataset Manager** — change log + [Algorithm 1](gc_dataset::LogAnalyzer)
+//!   log analysis (in `gc-dataset`), consumed here by the Cache Validator;
+//! * **Cache Manager** — [`cache::CacheManager`] (bounded store of
+//!   [`entry::CachedQuery`] entries), [`window::Window`] admission buffer,
+//!   [`stats`] statistics manager, [`policy`] replacement policies
+//!   (LRU/LFU/PIN/PINC/HD), and the [`validator`] implementing the paper's
+//!   two consistency models:
+//!   [`config::CacheModel::Evi`] (purge on any change) and
+//!   [`config::CacheModel::Con`] (Algorithm 2 per-graph
+//!   validity refresh);
+//! * **Query Processing Runtime** — [`processor`] (GC+sub / GC+super hit
+//!   discovery against cached queries), [`pruner`] (candidate-set pruning,
+//!   formulas (1)–(5) of §6, plus both §6.3 optimal cases), and
+//!   [`runtime`] (the per-query pipeline with the paper's metrics: query
+//!   time, overhead, sub-iso test counts, hit breakdown);
+//! * **Method M** — any [`gc_subiso::MethodM`] (VF2, VF2+ or GQL).
+//!
+//! The answers produced are *exactly* those of cache-less Method M — the
+//! paper's Theorems 3 and 6, enforced in this repo by integration and
+//! property tests rather than trust.
+//!
+//! ```
+//! use gc_core::{GcConfig, GraphCachePlus};
+//! use gc_graph::LabeledGraph;
+//! use gc_subiso::QueryKind;
+//!
+//! let g0 = LabeledGraph::from_parts(vec![0, 0, 0], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+//! let g1 = LabeledGraph::from_parts(vec![0, 0], &[(0, 1)]).unwrap();
+//! let mut gc = GraphCachePlus::new(GcConfig::default(), vec![g0, g1]);
+//!
+//! let q = LabeledGraph::from_parts(vec![0, 0], &[(0, 1)]).unwrap();
+//! let out = gc.execute(&q, QueryKind::Subgraph);
+//! assert_eq!(out.answer.iter_ones().collect::<Vec<_>>(), vec![0, 1]);
+//! ```
+
+pub mod cache;
+pub mod concurrent;
+pub mod config;
+pub mod entry;
+pub mod metrics;
+pub mod policy;
+pub mod processor;
+pub mod pruner;
+pub mod runtime;
+pub mod sharded;
+pub mod stats;
+pub mod system;
+pub mod validator;
+pub mod window;
+
+pub use concurrent::ConcurrentGraphCache;
+pub use config::{CacheModel, GcConfig, Policy};
+pub use metrics::{AggregateMetrics, HitBreakdown, QueryMetrics};
+pub use sharded::ShardedGraphCache;
+pub use system::{baseline_execute, GraphCachePlus, QueryOutcome};

@@ -1,0 +1,206 @@
+//! Per-query and aggregate metrics — the quantities behind Figures 4–6
+//! and the §7.2 insight statistics.
+//!
+//! The paper reports, per configuration:
+//!
+//! * **query time** (Figure 4, 6) — wall time of query execution: hit
+//!   discovery + candidate pruning + Method M verification;
+//! * **overhead** (Figure 6) — cache maintenance off the answer's critical
+//!   path: updating Window/Cache stores, replacement, re-indexing; for CON
+//!   additionally log analysis + cache validation (tracked separately to
+//!   reproduce the "<1% of CON overhead" claim);
+//! * **number of sub-iso tests** (Figure 5) — Method M tests actually
+//!   executed, deterministic and Method-M-independent;
+//! * **hit breakdown** (§7.2 insights) — exact-match hits vs zero-test
+//!   exact matches, direct/exclusion (sub/super) hits.
+
+use std::time::Duration;
+
+/// Cache-hit classification for one query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HitBreakdown {
+    /// Direct hits used (formula (1) contributors).
+    pub direct_hits: u32,
+    /// Exclusion hits used (formula (5) contributors).
+    pub exclusion_hits: u32,
+    /// An isomorphic cached query existed.
+    pub exact_match: bool,
+    /// §6.3 optimal case 1 fired (exact match, zero tests).
+    pub exact_shortcut: bool,
+    /// §6.3 optimal case 2 fired (provably empty answer, zero tests).
+    pub empty_shortcut: bool,
+}
+
+/// Everything measured about one query execution.
+#[derive(Debug, Clone, Default)]
+pub struct QueryMetrics {
+    /// Wall time on the answer's critical path.
+    pub query_time: Duration,
+    /// Cache-maintenance wall time (validation + admission/replacement).
+    pub overhead_time: Duration,
+    /// CON-specific share of `overhead_time`: Algorithm 1 + Algorithm 2.
+    pub validation_time: Duration,
+    /// Sub-iso tests Method M executed for this query.
+    pub subiso_tests: u64,
+    /// Tests avoided thanks to the cache (`|CS_M| - tests executed`).
+    pub tests_saved: u64,
+    /// `|CS_M|` before pruning.
+    pub candidate_size: u64,
+    /// Hit classification.
+    pub hits: HitBreakdown,
+}
+
+/// Running aggregation over a workload.
+#[derive(Debug, Clone, Default)]
+pub struct AggregateMetrics {
+    /// Queries recorded.
+    pub queries: u64,
+    /// Sum of query times.
+    pub total_query_time: Duration,
+    /// Sum of overhead times.
+    pub total_overhead_time: Duration,
+    /// Sum of CON-specific validation times.
+    pub total_validation_time: Duration,
+    /// Sum of executed sub-iso tests.
+    pub total_tests: u64,
+    /// Sum of avoided sub-iso tests.
+    pub total_tests_saved: u64,
+    /// Queries that executed zero sub-iso tests.
+    pub zero_test_queries: u64,
+    /// Queries for which an isomorphic cached query existed.
+    pub exact_match_queries: u64,
+    /// Queries answered by §6.3 optimal case 1.
+    pub exact_shortcuts: u64,
+    /// Queries answered by §6.3 optimal case 2.
+    pub empty_shortcuts: u64,
+    /// Total direct hits used.
+    pub direct_hits: u64,
+    /// Total exclusion hits used.
+    pub exclusion_hits: u64,
+}
+
+impl AggregateMetrics {
+    /// Folds one query's metrics into the aggregate.
+    pub fn record(&mut self, m: &QueryMetrics) {
+        self.queries += 1;
+        self.total_query_time += m.query_time;
+        self.total_overhead_time += m.overhead_time;
+        self.total_validation_time += m.validation_time;
+        self.total_tests += m.subiso_tests;
+        self.total_tests_saved += m.tests_saved;
+        if m.subiso_tests == 0 {
+            self.zero_test_queries += 1;
+        }
+        if m.hits.exact_match {
+            self.exact_match_queries += 1;
+        }
+        if m.hits.exact_shortcut {
+            self.exact_shortcuts += 1;
+        }
+        if m.hits.empty_shortcut {
+            self.empty_shortcuts += 1;
+        }
+        self.direct_hits += m.hits.direct_hits as u64;
+        self.exclusion_hits += m.hits.exclusion_hits as u64;
+    }
+
+    /// Average query time in milliseconds.
+    pub fn avg_query_time_ms(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.total_query_time.as_secs_f64() * 1e3 / self.queries as f64
+    }
+
+    /// Average overhead per query in milliseconds.
+    pub fn avg_overhead_ms(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.total_overhead_time.as_secs_f64() * 1e3 / self.queries as f64
+    }
+
+    /// Average sub-iso tests per query.
+    pub fn avg_tests(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.total_tests as f64 / self.queries as f64
+    }
+
+    /// Share of CON-specific validation inside total overhead (the paper
+    /// reports it is "less than 1%").
+    pub fn validation_share_of_overhead(&self) -> f64 {
+        let o = self.total_overhead_time.as_secs_f64();
+        if o == 0.0 {
+            return 0.0;
+        }
+        self.total_validation_time.as_secs_f64() / o
+    }
+}
+
+/// Speedup of `base` over `with_cache` for a chosen measure (paper:
+/// "ratio of the average performance of the base Method M over the average
+/// performance of GC+"; > 1 means GC+ improves on the base).
+pub fn speedup(base: f64, with_cache: f64) -> f64 {
+    if with_cache == 0.0 {
+        return f64::INFINITY;
+    }
+    base / with_cache
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(tests: u64, q_ms: u64, o_ms: u64) -> QueryMetrics {
+        QueryMetrics {
+            query_time: Duration::from_millis(q_ms),
+            overhead_time: Duration::from_millis(o_ms),
+            validation_time: Duration::from_micros(o_ms * 5),
+            subiso_tests: tests,
+            tests_saved: 10 - tests.min(10),
+            candidate_size: 10,
+            hits: HitBreakdown {
+                direct_hits: 1,
+                exclusion_hits: 2,
+                exact_match: tests == 0,
+                exact_shortcut: tests == 0,
+                empty_shortcut: false,
+            },
+        }
+    }
+
+    #[test]
+    fn aggregation_sums_and_averages() {
+        let mut agg = AggregateMetrics::default();
+        agg.record(&metrics(10, 100, 4));
+        agg.record(&metrics(0, 10, 2));
+        assert_eq!(agg.queries, 2);
+        assert_eq!(agg.total_tests, 10);
+        assert_eq!(agg.zero_test_queries, 1);
+        assert_eq!(agg.exact_match_queries, 1);
+        assert_eq!(agg.exact_shortcuts, 1);
+        assert_eq!(agg.direct_hits, 2);
+        assert_eq!(agg.exclusion_hits, 4);
+        assert!((agg.avg_query_time_ms() - 55.0).abs() < 1e-9);
+        assert!((agg.avg_overhead_ms() - 3.0).abs() < 1e-9);
+        assert!((agg.avg_tests() - 5.0).abs() < 1e-9);
+        assert!(agg.validation_share_of_overhead() > 0.0);
+    }
+
+    #[test]
+    fn empty_aggregate_is_zero() {
+        let agg = AggregateMetrics::default();
+        assert_eq!(agg.avg_query_time_ms(), 0.0);
+        assert_eq!(agg.avg_tests(), 0.0);
+        assert_eq!(agg.validation_share_of_overhead(), 0.0);
+    }
+
+    #[test]
+    fn speedup_definition() {
+        assert_eq!(speedup(100.0, 20.0), 5.0);
+        assert_eq!(speedup(10.0, 0.0), f64::INFINITY);
+        assert!(speedup(10.0, 20.0) < 1.0);
+    }
+}

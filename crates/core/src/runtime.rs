@@ -1,0 +1,124 @@
+//! Query Processing Runtime helpers: the cache-less baseline runner and
+//! the per-query result type.
+//!
+//! The baseline runner is "Method M without GC+" — the denominator of
+//! every speedup the paper reports. It scans the live dataset with the
+//! configured SI algorithm, timing the scan and counting one sub-iso test
+//! per live graph.
+
+use std::time::Instant;
+
+use gc_dataset::GraphStore;
+use gc_graph::{BitSet, LabeledGraph};
+use gc_subiso::{MethodM, QueryKind};
+
+use crate::metrics::QueryMetrics;
+
+/// Answer plus measurements for one executed query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The answer set (bit per dataset-graph id). Exactly equal to the
+    /// cache-less Method M answer — Theorems 3/6.
+    pub answer: BitSet,
+    /// Per-query measurements.
+    pub metrics: QueryMetrics,
+}
+
+/// Runs plain Method M (no cache) against the live dataset — the paper's
+/// baseline configuration.
+pub fn baseline_execute(
+    store: &GraphStore,
+    method: &MethodM,
+    query: &LabeledGraph,
+    kind: QueryKind,
+) -> QueryOutcome {
+    let started = Instant::now();
+    let csm = store.live_bitset();
+    let candidate_size = csm.count_ones() as u64;
+    let result = method.run(query, kind, store, &csm);
+    let query_time = started.elapsed();
+    QueryOutcome {
+        answer: result.answer,
+        metrics: QueryMetrics {
+            query_time,
+            subiso_tests: result.tests,
+            tests_saved: 0,
+            candidate_size,
+            ..QueryMetrics::default()
+        },
+    }
+}
+
+/// Runs an FTV-style baseline (no cache): the updatable label/size filter
+/// produces `CS_M`, then Method M verifies it. The index is synced from
+/// the log first, so callers can share one index across a churning run.
+pub fn ftv_baseline_execute(
+    store: &GraphStore,
+    log: &gc_dataset::ChangeLog,
+    index: &mut gc_dataset::LabelIndex,
+    method: &MethodM,
+    query: &LabeledGraph,
+    kind: QueryKind,
+) -> QueryOutcome {
+    let started = Instant::now();
+    index.sync(store, log);
+    let csm = match kind {
+        QueryKind::Subgraph => index.subgraph_candidates(query),
+        QueryKind::Supergraph => index.supergraph_candidates(query),
+    };
+    let candidate_size = csm.count_ones() as u64;
+    let result = method.run(query, kind, store, &csm);
+    let query_time = started.elapsed();
+    QueryOutcome {
+        answer: result.answer,
+        metrics: QueryMetrics {
+            query_time,
+            subiso_tests: result.tests,
+            tests_saved: store.live_count() as u64 - result.tests.min(store.live_count() as u64),
+            candidate_size,
+            ..QueryMetrics::default()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_subiso::Algorithm;
+
+    #[test]
+    fn ftv_baseline_filters_before_verifying() {
+        let triangle =
+            LabeledGraph::from_parts(vec![0, 0, 0], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let alien = LabeledGraph::from_parts(vec![5, 5], &[(0, 1)]).unwrap();
+        let edge = LabeledGraph::from_parts(vec![0, 0], &[(0, 1)]).unwrap();
+        let store = GraphStore::from_graphs(vec![triangle, alien, edge.clone()]);
+        let log = gc_dataset::ChangeLog::new();
+        let mut index = gc_dataset::LabelIndex::build(&store, &log);
+        let m = MethodM::new(Algorithm::Vf2);
+
+        let out = ftv_baseline_execute(&store, &log, &mut index, &m, &edge, QueryKind::Subgraph);
+        assert_eq!(out.answer.iter_ones().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(out.metrics.subiso_tests, 2, "label filter skipped the alien graph");
+        assert_eq!(out.metrics.tests_saved, 1);
+        // agreement with the unfiltered baseline
+        let plain = baseline_execute(&store, &m, &edge, QueryKind::Subgraph);
+        assert_eq!(out.answer, plain.answer);
+    }
+
+    #[test]
+    fn baseline_scans_whole_live_dataset() {
+        let triangle =
+            LabeledGraph::from_parts(vec![0, 0, 0], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let edge = LabeledGraph::from_parts(vec![0, 0], &[(0, 1)]).unwrap();
+        let mut store = GraphStore::from_graphs(vec![triangle, edge.clone()]);
+        store.delete(1).unwrap();
+
+        let m = MethodM::new(Algorithm::Vf2);
+        let out = baseline_execute(&store, &m, &edge, QueryKind::Subgraph);
+        assert_eq!(out.metrics.subiso_tests, 1, "deleted graph is not tested");
+        assert_eq!(out.metrics.candidate_size, 1);
+        assert_eq!(out.answer.iter_ones().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(out.metrics.tests_saved, 0);
+    }
+}

@@ -1,0 +1,277 @@
+//! A sharded (decentralized) GC+ — the paper's §8 future-work item
+//! "developing a distributed/decentralized version of GC+", simulated as
+//! N independent GC+ instances each owning a dataset partition.
+//!
+//! Design (shared-nothing, the shape a scale-out deployment would take):
+//!
+//! * the dataset is partitioned round-robin over `n` shards; each shard
+//!   runs a complete GC+ (own cache, window, change log, validity
+//!   machinery) over its partition;
+//! * a *global id* identifies each graph across the deployment; the router
+//!   maintains the global↔(shard, local) mapping — local stores never see
+//!   global ids, so all per-shard bitset indexing stays dense;
+//! * queries fan out to every shard (optionally on scoped threads — the
+//!   answer is a union, so shards need no coordination); answers are
+//!   translated back to global ids and unioned;
+//! * dataset changes route to the owning shard (ADD: round-robin).
+//!
+//! Because subgraph/supergraph answers distribute over disjoint dataset
+//! unions, the sharded answer is exactly the single-instance answer —
+//! asserted by `tests` below and the cross-crate suite.
+
+use gc_dataset::{ChangeOp, DatasetError};
+use gc_graph::{BitSet, LabeledGraph};
+use gc_subiso::QueryKind;
+
+use crate::config::GcConfig;
+use crate::metrics::QueryMetrics;
+use crate::system::{GraphCachePlus, QueryOutcome};
+
+/// Global graph identifier in a sharded deployment.
+pub type GlobalId = usize;
+
+/// A round-robin sharded GC+ deployment.
+pub struct ShardedGraphCache {
+    shards: Vec<GraphCachePlus>,
+    /// global id → (shard, local id); `None` once deleted.
+    routing: Vec<Option<(usize, usize)>>,
+    /// reverse map per shard: local id → global id.
+    reverse: Vec<Vec<GlobalId>>,
+    next_shard: usize,
+    parallel_fanout: bool,
+}
+
+impl ShardedGraphCache {
+    /// Partitions `initial` round-robin over `shard_count` shards, each
+    /// running GC+ with the given configuration.
+    pub fn new(config: GcConfig, initial: Vec<LabeledGraph>, shard_count: usize) -> Self {
+        assert!(shard_count >= 1, "need at least one shard");
+        let mut partitions: Vec<Vec<LabeledGraph>> = vec![Vec::new(); shard_count];
+        let mut routing = Vec::with_capacity(initial.len());
+        let mut reverse: Vec<Vec<GlobalId>> = vec![Vec::new(); shard_count];
+        for (global, g) in initial.into_iter().enumerate() {
+            let shard = global % shard_count;
+            let local = partitions[shard].len();
+            partitions[shard].push(g);
+            routing.push(Some((shard, local)));
+            reverse[shard].push(global);
+        }
+        ShardedGraphCache {
+            shards: partitions
+                .into_iter()
+                .map(|p| GraphCachePlus::new(config, p))
+                .collect(),
+            routing,
+            reverse,
+            next_shard: 0,
+            parallel_fanout: false,
+        }
+    }
+
+    /// Enables threaded query fan-out (one scoped thread per shard).
+    pub fn with_parallel_fanout(mut self, enabled: bool) -> Self {
+        self.parallel_fanout = enabled;
+        self
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total live graphs across shards.
+    pub fn live_count(&self) -> usize {
+        self.shards.iter().map(|s| s.store().live_count()).sum()
+    }
+
+    /// Applies a change, routing it to the owning shard. Returns the
+    /// global id affected (for ADD: the fresh global id).
+    pub fn apply(&mut self, op: ChangeOp) -> Result<GlobalId, DatasetError> {
+        match op {
+            ChangeOp::Add(g) => {
+                let shard = self.next_shard;
+                self.next_shard = (self.next_shard + 1) % self.shards.len();
+                let local = self.shards[shard].apply(ChangeOp::Add(g))?;
+                let global = self.routing.len();
+                self.routing.push(Some((shard, local)));
+                debug_assert_eq!(self.reverse[shard].len(), local);
+                self.reverse[shard].push(global);
+                Ok(global)
+            }
+            ChangeOp::Del(global) => {
+                let (shard, local) = self.locate(global)?;
+                self.shards[shard].apply(ChangeOp::Del(local))?;
+                self.routing[global] = None;
+                Ok(global)
+            }
+            ChangeOp::Ua { id, u, v } => {
+                let (shard, local) = self.locate(id)?;
+                self.shards[shard].apply(ChangeOp::Ua { id: local, u, v })?;
+                Ok(id)
+            }
+            ChangeOp::Ur { id, u, v } => {
+                let (shard, local) = self.locate(id)?;
+                self.shards[shard].apply(ChangeOp::Ur { id: local, u, v })?;
+                Ok(id)
+            }
+        }
+    }
+
+    fn locate(&self, global: GlobalId) -> Result<(usize, usize), DatasetError> {
+        self.routing
+            .get(global)
+            .copied()
+            .flatten()
+            .ok_or(DatasetError::NoSuchGraph(global))
+    }
+
+    /// Fetches a live graph by global id.
+    pub fn get(&self, global: GlobalId) -> Option<&LabeledGraph> {
+        let (shard, local) = self.locate(global).ok()?;
+        self.shards[shard].store().get(local)
+    }
+
+    /// Executes a query on every shard and unions the translated answers.
+    /// Metrics are summed across shards (tests, saved tests) with the
+    /// slowest shard's query time (the deployment's critical path).
+    pub fn execute(&mut self, query: &LabeledGraph, kind: QueryKind) -> QueryOutcome {
+        let outcomes: Vec<QueryOutcome> = if self.parallel_fanout && self.shards.len() > 1 {
+            let mut slots: Vec<Option<QueryOutcome>> = Vec::new();
+            crossbeam::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .map(|s| scope.spawn(move |_| s.execute(query, kind)))
+                    .collect();
+                slots = handles
+                    .into_iter()
+                    .map(|h| Some(h.join().expect("shard worker panicked")))
+                    .collect();
+            })
+            .expect("crossbeam scope failed");
+            slots.into_iter().map(|o| o.expect("joined")).collect()
+        } else {
+            self.shards
+                .iter_mut()
+                .map(|s| s.execute(query, kind))
+                .collect()
+        };
+
+        let mut answer = BitSet::new();
+        let mut metrics = QueryMetrics::default();
+        for (shard, out) in outcomes.iter().enumerate() {
+            for local in out.answer.iter_ones() {
+                answer.set(self.reverse[shard][local], true);
+            }
+            metrics.subiso_tests += out.metrics.subiso_tests;
+            metrics.tests_saved += out.metrics.tests_saved;
+            metrics.candidate_size += out.metrics.candidate_size;
+            metrics.query_time = metrics.query_time.max(out.metrics.query_time);
+            metrics.overhead_time += out.metrics.overhead_time;
+            metrics.validation_time += out.metrics.validation_time;
+        }
+        QueryOutcome { answer, metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::generate::random_connected_graph;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn dataset(n: usize, seed: u64) -> Vec<LabeledGraph> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let v = rng.random_range(4..10usize);
+                random_connected_graph(&mut rng, v, 2, |r| r.random_range(0..3u16))
+            })
+            .collect()
+    }
+
+    fn query(data: &[LabeledGraph], seed: u64) -> LabeledGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        gc_graph::generate::bfs_extract(&mut rng, &data[0], 0, 3).expect("extractable")
+    }
+
+    #[test]
+    fn sharded_answers_equal_single_instance() {
+        let data = dataset(23, 1);
+        let q = query(&data, 2);
+        let mut single = GraphCachePlus::new(GcConfig::default(), data.clone());
+        for shards in [1usize, 2, 3, 5] {
+            let mut sharded = ShardedGraphCache::new(GcConfig::default(), data.clone(), shards);
+            assert_eq!(sharded.shard_count(), shards);
+            let got = sharded.execute(&q, QueryKind::Subgraph);
+            let expected = single.execute(&q, QueryKind::Subgraph);
+            assert_eq!(got.answer, expected.answer, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn changes_route_correctly() {
+        let data = dataset(10, 3);
+        let mut sharded = ShardedGraphCache::new(GcConfig::default(), data.clone(), 3);
+        assert_eq!(sharded.live_count(), 10);
+
+        // delete global 4, add a new graph, flip an edge on global 7
+        sharded.apply(ChangeOp::Del(4)).unwrap();
+        assert_eq!(sharded.live_count(), 9);
+        assert!(sharded.get(4).is_none());
+        assert!(matches!(
+            sharded.apply(ChangeOp::Del(4)),
+            Err(DatasetError::NoSuchGraph(4))
+        ));
+
+        let new_global = sharded.apply(ChangeOp::Add(data[0].clone())).unwrap();
+        assert_eq!(new_global, 10);
+        assert_eq!(sharded.live_count(), 10);
+        assert!(sharded.get(10).is_some());
+
+        let g7 = sharded.get(7).expect("live").clone();
+        let (u, v) = g7.edges().next().expect("has edges");
+        sharded.apply(ChangeOp::Ur { id: 7, u, v }).unwrap();
+        assert!(!sharded.get(7).expect("live").has_edge(u, v));
+    }
+
+    #[test]
+    fn sharded_stays_exact_under_churn() {
+        let data = dataset(18, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut sharded =
+            ShardedGraphCache::new(GcConfig::default(), data.clone(), 3).with_parallel_fanout(true);
+        // mirror state in a flat store for ground truth
+        let mut flat = GraphCachePlus::new(GcConfig::default(), data.clone());
+
+        for step in 0..40 {
+            if step % 5 == 4 {
+                let global = rng.random_range(0..data.len());
+                if sharded.get(global).is_some() {
+                    let g = sharded.get(global).expect("live").clone();
+                    let first_edge = g.edges().next();
+                    if let Some((u, v)) = first_edge {
+                        sharded.apply(ChangeOp::Ur { id: global, u, v }).unwrap();
+                        flat.apply(ChangeOp::Ur { id: global, u, v }).unwrap();
+                    }
+                }
+            }
+            let q = query(&data, 100 + step);
+            let got = sharded.execute(&q, QueryKind::Subgraph);
+            let expected = flat.execute(&q, QueryKind::Subgraph);
+            assert_eq!(got.answer, expected.answer, "step {step}");
+            // fan-out runs the union of all shard candidate sets
+            assert_eq!(
+                got.metrics.candidate_size,
+                expected.metrics.candidate_size
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardedGraphCache::new(GcConfig::default(), Vec::new(), 0);
+    }
+}

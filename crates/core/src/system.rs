@@ -1,0 +1,424 @@
+//! The GraphCache+ facade — the system of Figure 1 wired together.
+//!
+//! [`GraphCachePlus`] owns the dataset (store + change log), the cache
+//! subsystems and Method M. Each [`execute`](GraphCachePlus::execute) call
+//! runs the paper's per-query pipeline:
+//!
+//! 1. **consistency maintenance** — if the dataset changed since the last
+//!    query, EVI purges cache+window; CON runs Algorithms 1 & 2 (measured
+//!    as *overhead*, with the CON-specific share tracked separately for
+//!    Figure 6's "<1% of CON overhead" claim);
+//! 2. **hit discovery** — GC+sub/GC+super probe the cached queries;
+//! 3. **candidate pruning** — formulas (1)–(5) and the §6.3 optimal cases
+//!    shrink `CS_M`;
+//! 4. **verification** — Method M sub-iso tests the surviving candidates;
+//!    steps 2–4 constitute the measured *query time*;
+//! 5. **statistics + admission** — contributing entries are credited
+//!    (PIN/PINC's R and C), the query enters the window, full windows
+//!    flush into the cache under the replacement policy (more *overhead*).
+//!
+//! Dataset changes arrive through [`apply`](GraphCachePlus::apply) (single
+//! operation) or [`with_dataset`](GraphCachePlus::with_dataset) (bulk —
+//! e.g. a `gc_dataset::PlanExecutor` driving the paper's change plan).
+
+use std::time::{Duration, Instant};
+
+use gc_dataset::{ChangeLog, ChangeOp, DatasetError, GraphId, GraphStore, LogAnalyzer, LogCursor};
+use gc_graph::LabeledGraph;
+use gc_subiso::QueryKind;
+
+use crate::cache::CacheManager;
+use crate::config::{CacheModel, GcConfig};
+use crate::entry::CachedQuery;
+use crate::metrics::{AggregateMetrics, HitBreakdown, QueryMetrics};
+use crate::processor::{discover_hits, EntryRef};
+use crate::pruner::{prune, Shortcut};
+pub use crate::runtime::{baseline_execute, QueryOutcome};
+use crate::validator;
+use crate::window::Window;
+
+/// The GraphCache+ system.
+#[derive(Debug)]
+pub struct GraphCachePlus {
+    config: GcConfig,
+    store: GraphStore,
+    log: ChangeLog,
+    cursor: LogCursor,
+    cache: CacheManager,
+    window: Window,
+    clock: u64,
+    aggregate: AggregateMetrics,
+    /// FTV filter index; present iff `config.use_ftv_filter`. Lazily
+    /// synced from the change log at each query, so external bulk
+    /// mutations via [`with_dataset`](Self::with_dataset) are picked up.
+    ftv_index: Option<gc_dataset::LabelIndex>,
+}
+
+impl GraphCachePlus {
+    /// Builds a GC+ instance over an initial dataset.
+    pub fn new(config: GcConfig, initial: Vec<LabeledGraph>) -> Self {
+        let store = GraphStore::from_graphs(initial);
+        let log = ChangeLog::new();
+        let ftv_index = config
+            .use_ftv_filter
+            .then(|| gc_dataset::LabelIndex::build(&store, &log));
+        GraphCachePlus {
+            cache: CacheManager::new(config.cache_capacity, config.policy),
+            window: Window::new(config.window_capacity),
+            config,
+            log,
+            cursor: LogCursor::default(),
+            store,
+            clock: 0,
+            aggregate: AggregateMetrics::default(),
+            ftv_index,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &GcConfig {
+        &self.config
+    }
+
+    /// Read access to the dataset.
+    pub fn store(&self) -> &GraphStore {
+        &self.store
+    }
+
+    /// Applies a single dataset change, logging it. Returns the assigned
+    /// id for ADD, the affected id otherwise.
+    pub fn apply(&mut self, op: ChangeOp) -> Result<GraphId, DatasetError> {
+        match op {
+            ChangeOp::Add(g) => {
+                let id = self.store.add_graph(g);
+                self.log.append(id, gc_dataset::OpType::Add);
+                Ok(id)
+            }
+            ChangeOp::Del(id) => {
+                self.store.delete(id)?;
+                self.log.append(id, gc_dataset::OpType::Del);
+                Ok(id)
+            }
+            ChangeOp::Ua { id, u, v } => {
+                self.store.add_edge(id, u, v)?;
+                self.log.append_edge(id, gc_dataset::OpType::Ua, u, v);
+                Ok(id)
+            }
+            ChangeOp::Ur { id, u, v } => {
+                self.store.remove_edge(id, u, v)?;
+                self.log.append_edge(id, gc_dataset::OpType::Ur, u, v);
+                Ok(id)
+            }
+        }
+    }
+
+    /// Grants bulk mutable access to `(store, log)` — the interface the
+    /// paper's change-plan executor drives. Every mutation must be logged
+    /// by the caller (PlanExecutor does), or the cache will not see it.
+    pub fn with_dataset<R>(&mut self, f: impl FnOnce(&mut GraphStore, &mut ChangeLog) -> R) -> R {
+        f(&mut self.store, &mut self.log)
+    }
+
+    /// Cache + window occupancy `(cache, window)`.
+    pub fn occupancy(&self) -> (usize, usize) {
+        (self.cache.len(), self.window.len())
+    }
+
+    /// Total evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.cache.evictions()
+    }
+
+    /// Aggregated metrics since construction (or the last reset).
+    pub fn aggregate_metrics(&self) -> &AggregateMetrics {
+        &self.aggregate
+    }
+
+    /// Resets the aggregate metrics (e.g. after the paper's one-window
+    /// warm-up before measurement starts).
+    pub fn reset_metrics(&mut self) {
+        self.aggregate = AggregateMetrics::default();
+    }
+
+    /// Executes a query through the full GC+ pipeline.
+    pub fn execute(&mut self, query: &LabeledGraph, kind: QueryKind) -> QueryOutcome {
+        self.clock += 1;
+        let now = self.clock;
+
+        // ---- step 1: consistency maintenance (overhead) ----
+        let mut overhead = Duration::ZERO;
+        let mut validation_time = Duration::ZERO;
+        if self.log.changed_since(self.cursor) {
+            let t = Instant::now();
+            match self.config.model {
+                CacheModel::Evi => {
+                    self.cache.clear();
+                    self.window.clear();
+                }
+                CacheModel::Con => {
+                    let counters = LogAnalyzer::analyze(self.log.records_since(self.cursor));
+                    let span = self.store.id_span();
+                    validator::refresh_all(self.cache.iter_mut(), &counters, span);
+                    validator::refresh_all(self.window.iter_mut(), &counters, span);
+                }
+                CacheModel::ConRetro => {
+                    let effects =
+                        gc_dataset::RetroAnalyzer::analyze(self.log.records_since(self.cursor));
+                    let span = self.store.id_span();
+                    validator::refresh_all_retro(self.cache.iter_mut(), &effects, span);
+                    validator::refresh_all_retro(self.window.iter_mut(), &effects, span);
+                }
+            }
+            self.cursor = self.log.head();
+            let elapsed = t.elapsed();
+            if self.config.model != CacheModel::Evi {
+                validation_time = elapsed;
+            }
+            overhead += elapsed;
+        }
+
+        // ---- steps 2-4: query execution (query time) ----
+        let t_query = Instant::now();
+        // CS_M: the whole live dataset (SI-method deployment) or the FTV
+        // filter's output (both are sound supersets of the answer set;
+        // the pruner's optimal-case checks stay correct against either —
+        // graphs outside a sound filter can never be answers).
+        let csm = match self.ftv_index.as_mut() {
+            Some(idx) => {
+                idx.sync(&self.store, &self.log);
+                match kind {
+                    QueryKind::Subgraph => idx.subgraph_candidates(query),
+                    QueryKind::Supergraph => idx.supergraph_candidates(query),
+                }
+            }
+            None => self.store.live_bitset(),
+        };
+        let candidate_size = csm.count_ones() as u64;
+        let matcher = self.config.internal_matcher.matcher();
+        let hits = discover_hits(query, kind, &self.cache, &self.window, matcher);
+        let outcome = prune(&csm, &hits, &self.cache, &self.window, &csm);
+
+        let (answer, tests) = if outcome.candidates.is_empty() {
+            (outcome.direct_answers.clone(), 0)
+        } else {
+            let m = self
+                .config
+                .method
+                .run(query, kind, &self.store, &outcome.candidates);
+            let mut answer = m.answer;
+            answer.union_with(&outcome.direct_answers);
+            (answer, m.tests)
+        };
+        let query_time = t_query.elapsed();
+
+        // ---- step 5: statistics + admission (overhead) ----
+        let t_admit = Instant::now();
+        // Per-saved-test cost proxy ∝ query size; dataset-graph sizes are
+        // iid across hits, so they fold into a constant that does not
+        // affect PINC's ranking.
+        let per_test_cost = (query.vertex_count() + query.edge_count()) as f64;
+        for &(r, saved) in &outcome.attribution {
+            let e = match r {
+                EntryRef::Cache(i) => self.cache.get_mut(i),
+                EntryRef::Window(i) => self.window.get_mut(i),
+            }
+            .expect("hit refs are valid until admission");
+            e.credit(saved, saved as f64 * per_test_cost, now);
+        }
+        if let Some(r) = hits.exact {
+            // An isomorphic twin is already cached: refresh it in place
+            // with the just-computed answer (full validity again) instead
+            // of admitting a duplicate.
+            let span = self.store.id_span();
+            let e = match r {
+                EntryRef::Cache(i) => self.cache.get_mut(i),
+                EntryRef::Window(i) => self.window.get_mut(i),
+            }
+            .expect("hit refs are valid until admission");
+            e.answer = answer.clone();
+            e.cg_valid = gc_graph::BitSet::all_set(span);
+        } else {
+            let entry =
+                CachedQuery::new(query.clone(), kind, answer.clone(), self.store.id_span(), now);
+            if let Some(batch) = self.window.push(entry) {
+                self.cache.admit_batch(batch);
+            }
+        }
+        overhead += t_admit.elapsed();
+
+        let metrics = QueryMetrics {
+            query_time,
+            overhead_time: overhead,
+            validation_time,
+            subiso_tests: tests,
+            tests_saved: candidate_size.saturating_sub(tests),
+            candidate_size,
+            hits: HitBreakdown {
+                direct_hits: hits.direct.len() as u32,
+                exclusion_hits: hits.exclusion.len() as u32,
+                exact_match: hits.exact.is_some(),
+                exact_shortcut: matches!(outcome.shortcut, Some(Shortcut::ExactMatch(_))),
+                empty_shortcut: matches!(outcome.shortcut, Some(Shortcut::EmptyResult(_))),
+            },
+        };
+        self.aggregate.record(&metrics);
+        QueryOutcome { answer, metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    fn g(labels: Vec<u16>, edges: &[(u32, u32)]) -> LabeledGraph {
+        LabeledGraph::from_parts(labels, edges).unwrap()
+    }
+
+    fn dataset() -> Vec<LabeledGraph> {
+        vec![
+            g(vec![0, 0, 0], &[(0, 1), (1, 2), (0, 2)]), // 0: triangle
+            g(vec![0, 0, 0], &[(0, 1), (1, 2)]),         // 1: path3
+            g(vec![0, 0], &[(0, 1)]),                    // 2: edge
+            g(vec![1, 1], &[(0, 1)]),                    // 3: labeled edge
+        ]
+    }
+
+    fn config() -> GcConfig {
+        GcConfig {
+            cache_capacity: 10,
+            window_capacity: 2,
+            ..GcConfig::default()
+        }
+    }
+
+    #[test]
+    fn first_query_runs_full_scan() {
+        let mut gc = GraphCachePlus::new(config(), dataset());
+        let q = g(vec![0, 0], &[(0, 1)]);
+        let out = gc.execute(&q, QueryKind::Subgraph);
+        assert_eq!(out.answer.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(out.metrics.subiso_tests, 4);
+        assert_eq!(out.metrics.tests_saved, 0);
+        assert_eq!(gc.occupancy(), (0, 1));
+    }
+
+    #[test]
+    fn repeated_query_is_exact_match_with_zero_tests() {
+        let mut gc = GraphCachePlus::new(config(), dataset());
+        let q = g(vec![0, 0], &[(0, 1)]);
+        let first = gc.execute(&q, QueryKind::Subgraph);
+        let second = gc.execute(&q, QueryKind::Subgraph);
+        assert_eq!(first.answer, second.answer);
+        assert_eq!(second.metrics.subiso_tests, 0);
+        assert!(second.metrics.hits.exact_shortcut);
+        // the twin was refreshed in place, not duplicated
+        assert_eq!(gc.occupancy(), (0, 1));
+    }
+
+    #[test]
+    fn direct_hit_prunes_answers() {
+        let mut gc = GraphCachePlus::new(config(), dataset());
+        // prime with path3 (answers: triangle 0, path3 1)
+        let p3 = g(vec![0, 0, 0], &[(0, 1), (1, 2)]);
+        gc.execute(&p3, QueryKind::Subgraph);
+        // edge ⊆ path3: direct hit makes graphs 0,1 test-free
+        let q = g(vec![0, 0], &[(0, 1)]);
+        let out = gc.execute(&q, QueryKind::Subgraph);
+        assert_eq!(out.answer.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert!(out.metrics.subiso_tests < 4);
+        assert!(out.metrics.hits.direct_hits >= 1);
+    }
+
+    #[test]
+    fn empty_answer_shortcut_fires() {
+        let mut gc = GraphCachePlus::new(config(), dataset());
+        // no dataset graph contains two 1-1 edges in a path: query 1-1-1
+        let q1 = g(vec![1, 1, 1], &[(0, 1), (1, 2)]);
+        let first = gc.execute(&q1, QueryKind::Subgraph);
+        assert!(first.answer.is_empty());
+        // a supergraph of q1 must also be empty — and provably so
+        let q2 = g(vec![1, 1, 1, 0], &[(0, 1), (1, 2), (2, 3)]);
+        let out = gc.execute(&q2, QueryKind::Subgraph);
+        assert!(out.answer.is_empty());
+        assert!(out.metrics.hits.empty_shortcut);
+        assert_eq!(out.metrics.subiso_tests, 0);
+    }
+
+    #[test]
+    fn con_model_survives_changes_with_correct_answers() {
+        let mut gc = GraphCachePlus::new(config(), dataset());
+        let q = g(vec![0, 0], &[(0, 1)]);
+        gc.execute(&q, QueryKind::Subgraph);
+        // UA on graph 3 (labels 1-1): does not affect q's positive answers
+        gc.apply(ChangeOp::Add(g(vec![0, 0, 0], &[(0, 1)]))).unwrap();
+        let out = gc.execute(&q, QueryKind::Subgraph);
+        assert_eq!(
+            out.answer.iter_ones().collect::<Vec<_>>(),
+            vec![0, 1, 2, 4],
+            "new graph 4 contains a 0-0 edge"
+        );
+    }
+
+    #[test]
+    fn evi_purges_on_any_change() {
+        let cfg = GcConfig {
+            model: CacheModel::Evi,
+            cache_capacity: 10,
+            window_capacity: 2,
+            ..GcConfig::default()
+        };
+        let mut gc = GraphCachePlus::new(cfg, dataset());
+        let q = g(vec![0, 0], &[(0, 1)]);
+        gc.execute(&q, QueryKind::Subgraph);
+        assert_eq!(gc.occupancy(), (0, 1));
+        gc.apply(ChangeOp::Del(3)).unwrap();
+        let out = gc.execute(&q, QueryKind::Subgraph);
+        // cache was purged: full scan of the 3 live graphs, no exact match
+        assert_eq!(out.metrics.subiso_tests, 3);
+        assert!(!out.metrics.hits.exact_match);
+        assert_eq!(out.answer.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn supergraph_queries_work_end_to_end() {
+        let mut gc = GraphCachePlus::new(config(), dataset());
+        // supergraph query: find dataset graphs contained in the triangle
+        let tri = g(vec![0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
+        let out = gc.execute(&tri, QueryKind::Supergraph);
+        assert_eq!(out.answer.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2]);
+        // repeat → exact shortcut
+        let out2 = gc.execute(&tri, QueryKind::Supergraph);
+        assert_eq!(out2.answer, out.answer);
+        assert!(out2.metrics.hits.exact_shortcut);
+    }
+
+    #[test]
+    fn apply_propagates_errors() {
+        let mut gc = GraphCachePlus::new(config(), dataset());
+        assert!(gc.apply(ChangeOp::Del(99)).is_err());
+        assert!(gc.apply(ChangeOp::Ua { id: 0, u: 0, v: 1 }).is_err()); // exists
+        assert!(gc.apply(ChangeOp::Ur { id: 2, u: 0, v: 9 }).is_err());
+        // log only contains successful ops
+        assert_eq!(gc.log.len(), 0);
+    }
+
+    #[test]
+    fn metrics_aggregate_and_reset() {
+        let mut gc = GraphCachePlus::new(config(), dataset());
+        let q = g(vec![0, 0], &[(0, 1)]);
+        gc.execute(&q, QueryKind::Subgraph);
+        gc.execute(&q, QueryKind::Subgraph);
+        assert_eq!(gc.aggregate_metrics().queries, 2);
+        assert_eq!(gc.aggregate_metrics().exact_shortcuts, 1);
+        gc.reset_metrics();
+        assert_eq!(gc.aggregate_metrics().queries, 0);
+    }
+
+    #[test]
+    fn window_flush_populates_cache() {
+        let mut gc = GraphCachePlus::new(config(), dataset());
+        // window capacity 2: two distinct queries flush into cache
+        gc.execute(&g(vec![0, 0], &[(0, 1)]), QueryKind::Subgraph);
+        gc.execute(&g(vec![1, 1], &[(0, 1)]), QueryKind::Subgraph);
+        assert_eq!(gc.occupancy(), (2, 0));
+    }
+}

@@ -1,0 +1,303 @@
+//! The Cache Validator — Algorithm 2 (CON) and the EVI purge.
+//!
+//! On each query arrival the Dataset Manager checks whether the dataset
+//! changed since the cache last synchronized. If so:
+//!
+//! * **EVI** clears cache and window indiscriminately — trivially safe,
+//!   but it discards every still-valid result (§5.1);
+//! * **CON** runs Algorithm 1 (log → per-graph counters, in `gc-dataset`)
+//!   and then Algorithm 2 per cached entry: extend `CGvalid` with `false`
+//!   for newly assigned ids, then for each touched graph `i` keep the bit
+//!   only in the two provably-safe cases, else clear it.
+//!
+//! ### Polarity and the supergraph dual
+//!
+//! For a **subgraph-query** entry (`Answer = {G : q ⊆ G}`), Algorithm 2's
+//! safe cases are:
+//!
+//! * all ops on `Gi` were **UA** and the cached bit is a *positive* answer
+//!   (`q ⊆ Gi` is preserved by adding edges to `Gi`);
+//! * all ops on `Gi` were **UR** and the cached bit is a *negative* answer
+//!   (`q ⊄ Gi` is preserved by removing edges from `Gi`).
+//!
+//! For a **supergraph-query** entry (`Answer = {G : G ⊆ q}`) the
+//! monotonicity flips (removing edges from `Gi` preserves `Gi ⊆ q`;
+//! adding edges preserves `Gi ⊄ q`), so UA/UR swap roles. The paper omits
+//! this dual "for space reason"; it is required for correctness as soon as
+//! supergraph queries are cached, and tests exercise it.
+
+use gc_dataset::{NetEffect, NetEffects, OpCounters};
+use gc_subiso::QueryKind;
+
+use crate::entry::CachedQuery;
+
+/// Refreshes one entry's `CGvalid` per Algorithm 2.
+///
+/// `id_span` is the dataset's current `max_id + 1` (`m + 1` in the
+/// paper's pseudocode).
+pub fn refresh_entry(entry: &mut CachedQuery, counters: &OpCounters, id_span: usize) {
+    // Lines 4–6: extend CGvalid with false bits for newly added graphs.
+    // BitSet::extend_to allocates zero (false) bits, which is exactly the
+    // required semantics; reads past the end are false either way.
+    entry.cg_valid.extend_to(id_span);
+
+    // Lines 7–19: apply the per-graph counters.
+    for i in counters.touched() {
+        if !entry.cg_valid.get(i) {
+            continue; // already invalid; nothing to preserve
+        }
+        let answered = entry.answer.get(i);
+        let keep = match entry.kind {
+            QueryKind::Subgraph => {
+                (counters.ua_exclusive(i) && answered)
+                    || (counters.ur_exclusive(i) && !answered)
+            }
+            // dual polarity for supergraph-semantics answers
+            QueryKind::Supergraph => {
+                (counters.ur_exclusive(i) && answered)
+                    || (counters.ua_exclusive(i) && !answered)
+            }
+        };
+        if !keep {
+            entry.cg_valid.set(i, false);
+        }
+    }
+}
+
+/// Refreshes a whole collection of entries (cache + window both hold
+/// "cached graphs" in the paper's terminology).
+pub fn refresh_all<'a, I>(entries: I, counters: &OpCounters, id_span: usize)
+where
+    I: IntoIterator<Item = &'a mut CachedQuery>,
+{
+    for e in entries {
+        refresh_entry(e, counters, id_span);
+    }
+}
+
+/// Retrospective variant of Algorithm 2 (the paper's §8 future-work item,
+/// CON-R): instead of per-category counters, the per-graph **net edge
+/// delta** decides. Changes that cancelled out preserve *all* validity;
+/// residual additions/removals behave like UA/UR-exclusive; everything
+/// else invalidates. Strictly at least as much validity survives as under
+/// [`refresh_entry`] — property-tested in `tests/retro.rs`.
+pub fn refresh_entry_retro(entry: &mut CachedQuery, effects: &NetEffects, id_span: usize) {
+    entry.cg_valid.extend_to(id_span);
+    for i in effects.touched() {
+        if !entry.cg_valid.get(i) {
+            continue;
+        }
+        let effect = effects.get(i).expect("touched implies present");
+        let answered = entry.answer.get(i);
+        let keep = match effect {
+            NetEffect::Neutral => true,
+            NetEffect::AddOnly => match entry.kind {
+                QueryKind::Subgraph => answered,
+                QueryKind::Supergraph => !answered,
+            },
+            NetEffect::RemoveOnly => match entry.kind {
+                QueryKind::Subgraph => !answered,
+                QueryKind::Supergraph => answered,
+            },
+            NetEffect::Invalidating => false,
+        };
+        if !keep {
+            entry.cg_valid.set(i, false);
+        }
+    }
+}
+
+/// Retrospective refresh over a collection.
+pub fn refresh_all_retro<'a, I>(entries: I, effects: &NetEffects, id_span: usize)
+where
+    I: IntoIterator<Item = &'a mut CachedQuery>,
+{
+    for e in entries {
+        refresh_entry_retro(e, effects, id_span);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_dataset::{ChangeRecord, LogAnalyzer, OpType};
+    use gc_graph::{BitSet, LabeledGraph};
+
+    fn rec(graph_id: usize, op: OpType) -> ChangeRecord {
+        ChangeRecord { graph_id, op, edge: None }
+    }
+
+    fn entry(kind: QueryKind, answer: &[usize], span: usize) -> CachedQuery {
+        CachedQuery::new(
+            LabeledGraph::from_parts(vec![0, 0], &[(0, 1)]).unwrap(),
+            kind,
+            BitSet::from_indices(answer.iter().copied()),
+            span,
+            0,
+        )
+    }
+
+    #[test]
+    fn ua_exclusive_preserves_positive_subgraph_answers() {
+        // paper example: answer on G2 survives UA, non-answer on G2 dies
+        let mut pos = entry(QueryKind::Subgraph, &[2], 4);
+        let mut neg = entry(QueryKind::Subgraph, &[], 4);
+        let c = LogAnalyzer::analyze(&[rec(2, OpType::Ua), rec(2, OpType::Ua)]);
+        refresh_entry(&mut pos, &c, 4);
+        refresh_entry(&mut neg, &c, 4);
+        assert!(pos.cg_valid.get(2), "q ⊆ G2 unaffected by adding edges");
+        assert!(!neg.cg_valid.get(2), "q ⊄ G2 may flip when edges appear");
+        // untouched graphs keep validity
+        assert!(pos.cg_valid.get(0) && pos.cg_valid.get(1) && pos.cg_valid.get(3));
+    }
+
+    #[test]
+    fn ur_exclusive_preserves_negative_subgraph_answers() {
+        let mut pos = entry(QueryKind::Subgraph, &[1], 3);
+        let mut neg = entry(QueryKind::Subgraph, &[], 3);
+        let c = LogAnalyzer::analyze(&[rec(1, OpType::Ur)]);
+        refresh_entry(&mut pos, &c, 3);
+        refresh_entry(&mut neg, &c, 3);
+        assert!(!pos.cg_valid.get(1), "q ⊆ G1 may break when edges vanish");
+        assert!(neg.cg_valid.get(1), "q ⊄ G1 unaffected by removing edges");
+    }
+
+    #[test]
+    fn mixed_ops_invalidate_both_polarities() {
+        let mut pos = entry(QueryKind::Subgraph, &[0], 1);
+        let mut neg = entry(QueryKind::Subgraph, &[], 1);
+        let c = LogAnalyzer::analyze(&[rec(0, OpType::Ua), rec(0, OpType::Ur)]);
+        refresh_entry(&mut pos, &c, 1);
+        refresh_entry(&mut neg, &c, 1);
+        assert!(!pos.cg_valid.get(0));
+        assert!(!neg.cg_valid.get(0));
+    }
+
+    #[test]
+    fn del_invalidates_and_add_extends_with_false() {
+        // timeline mirrors Figure 2: DEL G0, ADD G4 (fresh id 4)
+        let mut e = entry(QueryKind::Subgraph, &[0, 2], 4);
+        let c = LogAnalyzer::analyze(&[rec(0, OpType::Del), rec(4, OpType::Add)]);
+        refresh_entry(&mut e, &c, 5);
+        assert!(!e.cg_valid.get(0), "deleted graph knowledge dies");
+        assert!(!e.cg_valid.get(4), "new graph unknown to old query");
+        assert!(e.cg_valid.get(1) && e.cg_valid.get(2) && e.cg_valid.get(3));
+    }
+
+    #[test]
+    fn supergraph_duality() {
+        // supergraph entry: answer bit = G ⊆ q
+        let mut pos_ur = entry(QueryKind::Supergraph, &[1], 3);
+        let mut neg_ur = entry(QueryKind::Supergraph, &[], 3);
+        let c_ur = LogAnalyzer::analyze(&[rec(1, OpType::Ur)]);
+        refresh_entry(&mut pos_ur, &c_ur, 3);
+        refresh_entry(&mut neg_ur, &c_ur, 3);
+        assert!(pos_ur.cg_valid.get(1), "G ⊆ q survives G shrinking");
+        assert!(!neg_ur.cg_valid.get(1), "G ⊄ q may flip when G shrinks");
+
+        let mut pos_ua = entry(QueryKind::Supergraph, &[1], 3);
+        let mut neg_ua = entry(QueryKind::Supergraph, &[], 3);
+        let c_ua = LogAnalyzer::analyze(&[rec(1, OpType::Ua)]);
+        refresh_entry(&mut pos_ua, &c_ua, 3);
+        refresh_entry(&mut neg_ua, &c_ua, 3);
+        assert!(!pos_ua.cg_valid.get(1), "G ⊆ q may break when G grows");
+        assert!(neg_ua.cg_valid.get(1), "G ⊄ q survives G growing");
+    }
+
+    #[test]
+    fn already_invalid_bits_stay_invalid() {
+        let mut e = entry(QueryKind::Subgraph, &[0], 2);
+        e.cg_valid.set(0, false);
+        // UA-exclusive + positive answer would keep it — but it's already
+        // invalid (CGvalid.get(i) is part of Algorithm 2's keep condition)
+        let c = LogAnalyzer::analyze(&[rec(0, OpType::Ua)]);
+        refresh_entry(&mut e, &c, 2);
+        assert!(!e.cg_valid.get(0));
+        assert!(e.cg_valid.get(1));
+    }
+
+    #[test]
+    fn figure2_full_timeline() {
+        // Reproduces the running example of Figure 2 for g′:
+        // dataset {G0..G3}; g′ answers {2,3}; batch 1: ADD G4 + UR G3;
+        // batch 2: DEL G0 + UA G1.
+        let mut g_prime = entry(QueryKind::Subgraph, &[2, 3], 4);
+
+        let batch1 = LogAnalyzer::analyze(&[rec(4, OpType::Add), rec(3, OpType::Ur)]);
+        refresh_entry(&mut g_prime, &batch1, 5);
+        // paper state at T2: CGvalid = {0,1,2} (G3 lost: positive answer + UR;
+        // G4 unknown)
+        assert_eq!(
+            g_prime.cg_valid.iter_ones().collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+
+        let batch2 = LogAnalyzer::analyze(&[rec(0, OpType::Del), rec(1, OpType::Ua)]);
+        refresh_entry(&mut g_prime, &batch2, 5);
+        // paper state at T4 (row for g′): valid only on G2
+        // (G0 deleted; G1 was a negative answer hit by UA)
+        assert_eq!(g_prime.cg_valid.iter_ones().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn retro_neutral_preserves_everything() {
+        use gc_dataset::RetroAnalyzer;
+        // UA then UR of the same edge: Algorithm 2 invalidates, CON-R keeps
+        let mut plain = entry(QueryKind::Subgraph, &[0], 2);
+        let mut retro = entry(QueryKind::Subgraph, &[0], 2);
+        let records = [
+            ChangeRecord::edge(0, OpType::Ua, 1, 2),
+            ChangeRecord::edge(0, OpType::Ur, 1, 2),
+        ];
+        refresh_entry(&mut plain, &LogAnalyzer::analyze(&records), 2);
+        refresh_entry_retro(&mut retro, &RetroAnalyzer::analyze(&records), 2);
+        assert!(!plain.cg_valid.get(0), "CON loses the oscillated graph");
+        assert!(retro.cg_valid.get(0), "CON-R keeps it");
+    }
+
+    #[test]
+    fn retro_residuals_match_polarity_rules() {
+        use gc_dataset::RetroAnalyzer;
+        // net add: positive subgraph answers survive, negatives don't
+        let records = [
+            ChangeRecord::edge(1, OpType::Ua, 0, 1),
+            ChangeRecord::edge(1, OpType::Ua, 2, 3),
+            ChangeRecord::edge(1, OpType::Ur, 2, 3),
+        ];
+        let eff = RetroAnalyzer::analyze(&records);
+        let mut pos = entry(QueryKind::Subgraph, &[1], 2);
+        let mut neg = entry(QueryKind::Subgraph, &[], 2);
+        refresh_entry_retro(&mut pos, &eff, 2);
+        refresh_entry_retro(&mut neg, &eff, 2);
+        assert!(pos.cg_valid.get(1));
+        assert!(!neg.cg_valid.get(1));
+        // supergraph dual flips
+        let mut sup_pos = entry(QueryKind::Supergraph, &[1], 2);
+        let mut sup_neg = entry(QueryKind::Supergraph, &[], 2);
+        refresh_entry_retro(&mut sup_pos, &eff, 2);
+        refresh_entry_retro(&mut sup_neg, &eff, 2);
+        assert!(!sup_pos.cg_valid.get(1));
+        assert!(sup_neg.cg_valid.get(1));
+    }
+
+    #[test]
+    fn retro_structural_still_invalidates() {
+        use gc_dataset::RetroAnalyzer;
+        let mut e = entry(QueryKind::Subgraph, &[0], 2);
+        let eff = RetroAnalyzer::analyze(&[ChangeRecord::structural(0, OpType::Del)]);
+        refresh_entry_retro(&mut e, &eff, 2);
+        assert!(!e.cg_valid.get(0));
+        assert!(e.cg_valid.get(1));
+    }
+
+    #[test]
+    fn refresh_all_covers_every_entry() {
+        let mut entries = [entry(QueryKind::Subgraph, &[0], 2),
+            entry(QueryKind::Subgraph, &[], 2)];
+        let c = LogAnalyzer::analyze(&[rec(0, OpType::Del)]);
+        refresh_all(entries.iter_mut(), &c, 2);
+        assert!(!entries[0].cg_valid.get(0));
+        assert!(!entries[1].cg_valid.get(0));
+        assert!(entries[0].cg_valid.get(1));
+    }
+}

@@ -1,0 +1,134 @@
+//! The Window Manager — GC+'s cache admission control.
+//!
+//! Executed queries do not enter the cache store directly: they are
+//! "batched to enter cache" through a bounded window (default 20). While
+//! in the window they already serve hit discovery and are kept consistent
+//! by the validator (the paper: cached graphs "by default cover those
+//! previous queries in both cache and window"), accumulating the usage
+//! statistics the replacement policy will judge them by. When the window
+//! fills up, the whole batch is flushed towards the cache store.
+
+use crate::entry::CachedQuery;
+
+/// Bounded admission window.
+#[derive(Debug, Default)]
+pub struct Window {
+    entries: Vec<CachedQuery>,
+    capacity: usize,
+}
+
+impl Window {
+    /// Creates a window with the given capacity (0 disables caching of new
+    /// queries entirely — useful for ablations).
+    pub fn new(capacity: usize) -> Self {
+        Window {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Admits a query. If the window reaches capacity, returns the drained
+    /// batch to be merged into the cache store.
+    pub fn push(&mut self, entry: CachedQuery) -> Option<Vec<CachedQuery>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.entries.push(entry);
+        if self.entries.len() >= self.capacity {
+            Some(std::mem::take(&mut self.entries))
+        } else {
+            None
+        }
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff no query is windowed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Shared iteration for hit discovery.
+    pub fn iter(&self) -> impl Iterator<Item = &CachedQuery> {
+        self.entries.iter()
+    }
+
+    /// Mutable access for validation and stat credit.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut CachedQuery> {
+        self.entries.iter_mut()
+    }
+
+    /// Direct indexed access (hit lists store indices).
+    pub fn get_mut(&mut self, idx: usize) -> Option<&mut CachedQuery> {
+        self.entries.get_mut(idx)
+    }
+
+    /// EVI purge.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::{BitSet, LabeledGraph};
+    use gc_subiso::QueryKind;
+
+    fn entry() -> CachedQuery {
+        CachedQuery::new(
+            LabeledGraph::from_parts(vec![0], &[]).unwrap(),
+            QueryKind::Subgraph,
+            BitSet::new(),
+            0,
+            0,
+        )
+    }
+
+    #[test]
+    fn flushes_exactly_at_capacity() {
+        let mut w = Window::new(3);
+        assert!(w.push(entry()).is_none());
+        assert!(w.push(entry()).is_none());
+        assert_eq!(w.len(), 2);
+        let batch = w.push(entry()).expect("third push flushes");
+        assert_eq!(batch.len(), 3);
+        assert!(w.is_empty());
+        assert_eq!(w.capacity(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_never_admits() {
+        let mut w = Window::new(0);
+        assert!(w.push(entry()).is_none());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn clear_purges() {
+        let mut w = Window::new(5);
+        w.push(entry());
+        w.push(entry());
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.iter().count(), 0);
+    }
+
+    #[test]
+    fn indexed_mutation() {
+        let mut w = Window::new(5);
+        w.push(entry());
+        w.get_mut(0).unwrap().credit(3, 1.0, 7);
+        assert_eq!(w.iter().next().unwrap().stats.tests_saved, 3);
+        assert!(w.get_mut(1).is_none());
+        assert_eq!(w.iter_mut().count(), 1);
+    }
+}

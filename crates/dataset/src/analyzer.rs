@@ -1,0 +1,155 @@
+//! Algorithm 1 — "Analyzing Log for the CON Cache".
+//!
+//! The Log Analyzer is the Dataset Manager component that preprocesses the
+//! incremental records for cache validation. It launches a container with
+//! three counters, each a map keyed by dataset graph id:
+//!
+//! * `CT` — total operations per graph (every record counts),
+//! * `CA` — UA operations per graph,
+//! * `CR` — UR operations per graph.
+//!
+//! Algorithm 2 later compares `CT` with `CA`/`CR` per graph: a graph whose
+//! operations were *exclusively* UA (or UR) can preserve one polarity of
+//! cached knowledge. ADD and DEL inflate `CT` without touching `CA`/`CR`,
+//! so they always invalidate (correct: a deleted graph's knowledge is dead;
+//! and the id of an added graph never collides with old knowledge because
+//! ids are fresh).
+
+use std::collections::HashMap;
+
+use crate::log::{ChangeRecord, OpType};
+use crate::store::GraphId;
+
+/// The counter container `C` returned by Algorithm 1.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    /// `CT` — total operations per touched graph.
+    pub total: HashMap<GraphId, u32>,
+    /// `CA` — UA (edge-addition) operations per touched graph.
+    pub ua: HashMap<GraphId, u32>,
+    /// `CR` — UR (edge-removal) operations per touched graph.
+    pub ur: HashMap<GraphId, u32>,
+}
+
+impl OpCounters {
+    /// `true` iff no operation was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total.is_empty()
+    }
+
+    /// Graphs touched by at least one operation.
+    pub fn touched(&self) -> impl Iterator<Item = GraphId> + '_ {
+        self.total.keys().copied()
+    }
+
+    /// `true` iff all operations on `id` were UA (`tc == uac`, Algorithm 2
+    /// line 12).
+    pub fn ua_exclusive(&self, id: GraphId) -> bool {
+        match self.total.get(&id) {
+            Some(&tc) => self.ua.get(&id).copied().unwrap_or(0) == tc,
+            None => false,
+        }
+    }
+
+    /// `true` iff all operations on `id` were UR (`tc == urc`, Algorithm 2
+    /// line 14).
+    pub fn ur_exclusive(&self, id: GraphId) -> bool {
+        match self.total.get(&id) {
+            Some(&tc) => self.ur.get(&id).copied().unwrap_or(0) == tc,
+            None => false,
+        }
+    }
+}
+
+/// Algorithm 1's Log Analyzer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LogAnalyzer;
+
+impl LogAnalyzer {
+    /// Runs Algorithm 1 over the incremental records: exhausts the records,
+    /// bumping `CA` for UA, `CR` for UR, and `CT` for everything.
+    pub fn analyze(records: &[ChangeRecord]) -> OpCounters {
+        let mut c = OpCounters::default();
+        for r in records {
+            match r.op {
+                OpType::Ua => {
+                    *c.ua.entry(r.graph_id).or_insert(0) += 1;
+                }
+                OpType::Ur => {
+                    *c.ur.entry(r.graph_id).or_insert(0) += 1;
+                }
+                OpType::Add | OpType::Del => {}
+            }
+            *c.total.entry(r.graph_id).or_insert(0) += 1;
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(graph_id: GraphId, op: OpType) -> ChangeRecord {
+        ChangeRecord { graph_id, op, edge: None }
+    }
+
+    #[test]
+    fn empty_log_empty_counters() {
+        let c = LogAnalyzer::analyze(&[]);
+        assert!(c.is_empty());
+        assert!(!c.ua_exclusive(0));
+        assert!(!c.ur_exclusive(0));
+    }
+
+    #[test]
+    fn counters_categorize_per_graph() {
+        let records = [
+            rec(1, OpType::Ua),
+            rec(1, OpType::Ua),
+            rec(2, OpType::Ur),
+            rec(3, OpType::Add),
+            rec(4, OpType::Del),
+            rec(5, OpType::Ua),
+            rec(5, OpType::Ur),
+        ];
+        let c = LogAnalyzer::analyze(&records);
+        assert_eq!(c.total[&1], 2);
+        assert_eq!(c.ua[&1], 2);
+        assert!(c.ua_exclusive(1));
+        assert!(!c.ur_exclusive(1));
+
+        assert!(c.ur_exclusive(2));
+        assert!(!c.ua_exclusive(2));
+
+        // ADD/DEL count in CT only → neither exclusive
+        assert_eq!(c.total[&3], 1);
+        assert!(!c.ua_exclusive(3));
+        assert!(!c.ur_exclusive(3));
+        assert_eq!(c.total[&4], 1);
+
+        // mixed UA+UR → neither exclusive
+        assert_eq!(c.total[&5], 2);
+        assert!(!c.ua_exclusive(5));
+        assert!(!c.ur_exclusive(5));
+    }
+
+    #[test]
+    fn ua_then_del_is_not_exclusive() {
+        let records = [rec(9, OpType::Ua), rec(9, OpType::Del)];
+        let c = LogAnalyzer::analyze(&records);
+        assert_eq!(c.total[&9], 2);
+        assert_eq!(c.ua[&9], 1);
+        assert!(!c.ua_exclusive(9));
+        assert!(!c.ur_exclusive(9));
+    }
+
+    #[test]
+    fn touched_lists_each_graph_once() {
+        let records = [rec(1, OpType::Ua), rec(1, OpType::Ur), rec(2, OpType::Add)];
+        let c = LogAnalyzer::analyze(&records);
+        let mut touched: Vec<_> = c.touched().collect();
+        touched.sort_unstable();
+        assert_eq!(touched, vec![1, 2]);
+    }
+}

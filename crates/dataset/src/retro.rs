@@ -1,0 +1,220 @@
+//! Retrospective change analysis — the paper's §8 future-work item
+//! ("further optimizing CON cache with retrospective validating
+//! mechanisms"), implemented as an extension.
+//!
+//! Algorithm 1/2 classify a graph's pending operations by *category
+//! counts*: a UA followed by a UR of the **same edge** leaves the graph
+//! bit-identical, yet Algorithm 2 sees "mixed operations" and invalidates
+//! everything cached about it. The retrospective analyzer instead folds
+//! the incremental records into a **net edge delta** per graph:
+//!
+//! * net delta empty → the graph is exactly as the cache last saw it:
+//!   **all** validity survives;
+//! * net delta is additions-only → equivalent to UA-exclusive: positive
+//!   subgraph-answers survive (dual for supergraph entries);
+//! * net delta is removals-only → equivalent to UR-exclusive;
+//! * mixed net delta, or any ADD/DEL → invalidate (as before).
+//!
+//! This is strictly more precise than Algorithm 1's counters — every bit
+//! CON keeps, CON-R keeps too — at the cost of tracking edge endpoints in
+//! the log (see [`crate::ChangeRecord::edge`]). The improvement is
+//! workload-dependent: it pays off exactly when changes oscillate (edit
+//! churn, undo-heavy pipelines, A/B flapping) and nets out.
+
+use std::collections::HashMap;
+
+use gc_graph::VertexId;
+
+use crate::log::{ChangeRecord, OpType};
+use crate::store::GraphId;
+
+/// The net effect of all pending operations on one graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetEffect {
+    /// Changes cancelled out exactly — the graph is unchanged.
+    Neutral,
+    /// Net effect is edge additions only (⊇ the old graph).
+    AddOnly,
+    /// Net effect is edge removals only (⊆ the old graph).
+    RemoveOnly,
+    /// Both additions and removals remain, or the graph was ADDed/DELed —
+    /// no cached knowledge about it can be kept.
+    Invalidating,
+}
+
+/// Per-graph net effects of an incremental record range.
+#[derive(Debug, Clone, Default)]
+pub struct NetEffects {
+    effects: HashMap<GraphId, NetEffect>,
+}
+
+impl NetEffects {
+    /// Graphs touched by at least one operation.
+    pub fn touched(&self) -> impl Iterator<Item = GraphId> + '_ {
+        self.effects.keys().copied()
+    }
+
+    /// The net effect for a graph (`None` = untouched).
+    pub fn get(&self, id: GraphId) -> Option<&NetEffect> {
+        self.effects.get(&id)
+    }
+
+    /// `true` iff nothing was touched.
+    pub fn is_empty(&self) -> bool {
+        self.effects.is_empty()
+    }
+}
+
+/// The retrospective log analyzer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RetroAnalyzer;
+
+impl RetroAnalyzer {
+    /// Folds incremental records into per-graph net effects.
+    pub fn analyze(records: &[ChangeRecord]) -> NetEffects {
+        // per graph: signed count per edge (+1 per UA, -1 per UR), plus a
+        // structural flag for ADD/DEL
+        let mut deltas: HashMap<GraphId, HashMap<(VertexId, VertexId), i32>> = HashMap::new();
+        let mut structural: HashMap<GraphId, bool> = HashMap::new();
+        for r in records {
+            match r.op {
+                OpType::Add | OpType::Del => {
+                    structural.insert(r.graph_id, true);
+                }
+                OpType::Ua | OpType::Ur => {
+                    let sign = if r.op == OpType::Ua { 1 } else { -1 };
+                    match r.edge {
+                        Some(e) => {
+                            *deltas
+                                .entry(r.graph_id)
+                                .or_default()
+                                .entry(e)
+                                .or_insert(0) += sign;
+                        }
+                        None => {
+                            // a log without endpoints cannot be folded:
+                            // conservatively treat as structural
+                            structural.insert(r.graph_id, true);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut effects = HashMap::new();
+        for (&id, _) in structural.iter() {
+            effects.insert(id, NetEffect::Invalidating);
+        }
+        for (id, delta) in deltas {
+            if effects.contains_key(&id) {
+                continue; // structural wins
+            }
+            let mut adds = false;
+            let mut removes = false;
+            for (_, net) in delta {
+                if net > 0 {
+                    adds = true;
+                } else if net < 0 {
+                    removes = true;
+                }
+            }
+            let effect = match (adds, removes) {
+                (false, false) => NetEffect::Neutral,
+                (true, false) => NetEffect::AddOnly,
+                (false, true) => NetEffect::RemoveOnly,
+                (true, true) => NetEffect::Invalidating,
+            };
+            effects.insert(id, effect);
+        }
+        NetEffects { effects }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ua(id: GraphId, u: VertexId, v: VertexId) -> ChangeRecord {
+        ChangeRecord::edge(id, OpType::Ua, u, v)
+    }
+    fn ur(id: GraphId, u: VertexId, v: VertexId) -> ChangeRecord {
+        ChangeRecord::edge(id, OpType::Ur, u, v)
+    }
+
+    #[test]
+    fn empty_log() {
+        let e = RetroAnalyzer::analyze(&[]);
+        assert!(e.is_empty());
+        assert!(e.get(0).is_none());
+    }
+
+    #[test]
+    fn cancelling_ops_are_neutral() {
+        // UA(0,1) then UR(0,1) — and the reverse order, with swapped
+        // endpoint notation — both net out
+        let e = RetroAnalyzer::analyze(&[ua(3, 0, 1), ur(3, 1, 0)]);
+        assert_eq!(e.get(3), Some(&NetEffect::Neutral));
+
+        let e2 = RetroAnalyzer::analyze(&[ur(3, 5, 2), ua(3, 2, 5)]);
+        assert_eq!(e2.get(3), Some(&NetEffect::Neutral));
+    }
+
+    #[test]
+    fn residual_directions() {
+        // add two edges, remove one of them → AddOnly
+        let e = RetroAnalyzer::analyze(&[ua(1, 0, 1), ua(1, 2, 3), ur(1, 0, 1)]);
+        assert_eq!(e.get(1), Some(&NetEffect::AddOnly));
+        // remove two, re-add one → RemoveOnly
+        let e2 = RetroAnalyzer::analyze(&[ur(1, 0, 1), ur(1, 2, 3), ua(1, 0, 1)]);
+        assert_eq!(e2.get(1), Some(&NetEffect::RemoveOnly));
+        // one net add + one net remove → Invalidating
+        let e3 = RetroAnalyzer::analyze(&[ua(1, 0, 1), ur(1, 2, 3)]);
+        assert_eq!(e3.get(1), Some(&NetEffect::Invalidating));
+    }
+
+    #[test]
+    fn structural_ops_invalidate_regardless() {
+        let e = RetroAnalyzer::analyze(&[
+            ua(2, 0, 1),
+            ur(2, 0, 1),
+            ChangeRecord::structural(2, OpType::Del),
+        ]);
+        assert_eq!(e.get(2), Some(&NetEffect::Invalidating));
+        let e2 = RetroAnalyzer::analyze(&[ChangeRecord::structural(9, OpType::Add)]);
+        assert_eq!(e2.get(9), Some(&NetEffect::Invalidating));
+    }
+
+    #[test]
+    fn endpointless_edge_records_are_conservative() {
+        // a UA without endpoints (e.g. from a legacy log) cannot be folded
+        let legacy = ChangeRecord {
+            graph_id: 5,
+            op: OpType::Ua,
+            edge: None,
+        };
+        let e = RetroAnalyzer::analyze(&[legacy]);
+        assert_eq!(e.get(5), Some(&NetEffect::Invalidating));
+    }
+
+    #[test]
+    fn multiple_graphs_tracked_independently() {
+        let e = RetroAnalyzer::analyze(&[ua(1, 0, 1), ur(1, 0, 1), ua(2, 0, 1)]);
+        assert_eq!(e.get(1), Some(&NetEffect::Neutral));
+        assert_eq!(e.get(2), Some(&NetEffect::AddOnly));
+        let mut touched: Vec<_> = e.touched().collect();
+        touched.sort_unstable();
+        assert_eq!(touched, vec![1, 2]);
+    }
+
+    #[test]
+    fn oscillation_beyond_one_round_trip() {
+        // UA, UR, UA, UR of the same edge nets to neutral
+        let recs = [ua(0, 1, 2), ur(0, 1, 2), ua(0, 1, 2), ur(0, 1, 2)];
+        let e = RetroAnalyzer::analyze(&recs);
+        assert_eq!(e.get(0), Some(&NetEffect::Neutral));
+        // odd number of flips leaves a residue
+        let recs2 = [ua(0, 1, 2), ur(0, 1, 2), ua(0, 1, 2)];
+        let e2 = RetroAnalyzer::analyze(&recs2);
+        assert_eq!(e2.get(0), Some(&NetEffect::AddOnly));
+    }
+}

@@ -1,0 +1,422 @@
+//! The labeled undirected graph type used throughout GC+.
+//!
+//! Per §3 of the paper: a labeled graph `G = (V, E, l)` has vertices `V`,
+//! undirected edges `E ⊆ V × V`, and a labeling `l : V → U` over a label
+//! alphabet `U`. Only vertices carry labels. The dataset update operations
+//! UA (edge addition) and UR (edge removal) mutate a graph's edge set in
+//! place, so the type supports cheap edge insertion/removal while keeping
+//! adjacency lists sorted for binary-search `has_edge` (the hot operation of
+//! every subgraph-isomorphism consistency check).
+
+/// Vertex identifier inside a single graph (dense, `0..vertex_count`).
+pub type VertexId = u32;
+
+/// Vertex label. The AIDS alphabet has 62 symbols; `u16` is plenty.
+pub type Label = u16;
+
+/// Errors raised by graph mutation.
+///
+/// The paper's change-plan generator guarantees UA adds a non-existent edge
+/// and UR removes an existing one; these errors surface any violation of
+/// that contract instead of silently corrupting the dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex id was `>= vertex_count`.
+    VertexOutOfRange { vertex: VertexId, count: usize },
+    /// Self loops are not representable in the paper's simple-graph model.
+    SelfLoop(VertexId),
+    /// UA attempted on an edge that already exists.
+    EdgeExists(VertexId, VertexId),
+    /// UR attempted on an edge that does not exist.
+    EdgeMissing(VertexId, VertexId),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, count } => {
+                write!(f, "vertex {vertex} out of range (graph has {count} vertices)")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self loop on vertex {v} not allowed"),
+            GraphError::EdgeExists(u, v) => write!(f, "edge ({u},{v}) already exists"),
+            GraphError::EdgeMissing(u, v) => write!(f, "edge ({u},{v}) does not exist"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An undirected graph with vertex labels.
+///
+/// Invariants:
+/// * adjacency lists are sorted ascending and mirror each other
+///   (`v ∈ adj[u] ⟺ u ∈ adj[v]`),
+/// * no self loops, no parallel edges,
+/// * `labels.len() == adj.len() == vertex_count()`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct LabeledGraph {
+    labels: Vec<Label>,
+    adj: Vec<Vec<VertexId>>,
+    edge_count: usize,
+}
+
+impl LabeledGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self {
+            labels: Vec::new(),
+            adj: Vec::new(),
+            edge_count: 0,
+        }
+    }
+
+    /// Creates an empty graph with capacity for `n` vertices.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            labels: Vec::with_capacity(n),
+            adj: Vec::with_capacity(n),
+            edge_count: 0,
+        }
+    }
+
+    /// Builds a graph from a label list and an edge list.
+    ///
+    /// Convenience for tests and examples; duplicate edges and self loops
+    /// are rejected like the incremental API.
+    pub fn from_parts(
+        labels: Vec<Label>,
+        edges: &[(VertexId, VertexId)],
+    ) -> Result<Self, GraphError> {
+        let mut g = Self {
+            adj: vec![Vec::new(); labels.len()],
+            labels,
+            edge_count: 0,
+        };
+        for &(u, v) in edges {
+            g.add_edge(u, v)?;
+        }
+        Ok(g)
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// `true` iff the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Adds a vertex with the given label, returning its id.
+    pub fn add_vertex(&mut self, label: Label) -> VertexId {
+        self.labels.push(label);
+        self.adj.push(Vec::new());
+        (self.labels.len() - 1) as VertexId
+    }
+
+    fn check_vertex(&self, v: VertexId) -> Result<(), GraphError> {
+        if (v as usize) < self.labels.len() {
+            Ok(())
+        } else {
+            Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                count: self.labels.len(),
+            })
+        }
+    }
+
+    /// Adds the undirected edge `(u, v)` — the paper's **UA** update.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), GraphError> {
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        let pos_u = match self.adj[u as usize].binary_search(&v) {
+            Ok(_) => return Err(GraphError::EdgeExists(u, v)),
+            Err(p) => p,
+        };
+        let pos_v = self.adj[v as usize]
+            .binary_search(&u)
+            .expect_err("adjacency mirror invariant violated");
+        self.adj[u as usize].insert(pos_u, v);
+        self.adj[v as usize].insert(pos_v, u);
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Removes the undirected edge `(u, v)` — the paper's **UR** update.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), GraphError> {
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        let pos_u = match self.adj[u as usize].binary_search(&v) {
+            Ok(p) => p,
+            Err(_) => return Err(GraphError::EdgeMissing(u, v)),
+        };
+        let pos_v = self.adj[v as usize]
+            .binary_search(&u)
+            .expect("adjacency mirror invariant violated");
+        self.adj[u as usize].remove(pos_u);
+        self.adj[v as usize].remove(pos_v);
+        self.edge_count -= 1;
+        Ok(())
+    }
+
+    /// `true` iff the undirected edge `(u, v)` exists.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        match self.adj.get(u as usize) {
+            Some(n) => n.binary_search(&v).is_ok(),
+            None => false,
+        }
+    }
+
+    /// The label of vertex `v`. Panics if out of range.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> Label {
+        self.labels[v as usize]
+    }
+
+    /// All vertex labels, indexed by vertex id.
+    #[inline]
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Sorted neighbor list of `v`. Panics if out of range.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adj[v as usize]
+    }
+
+    /// Degree of `v`. Panics if out of range.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.labels.len() as VertexId
+    }
+
+    /// Iterator over undirected edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, ns)| {
+            let u = u as VertexId;
+            ns.iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// Histogram of label occurrences, as `(label, count)` sorted by label.
+    ///
+    /// Used by the quick filters before any sub-iso test: a pattern can only
+    /// be contained in a target whose label multiset dominates the
+    /// pattern's.
+    pub fn label_histogram(&self) -> Vec<(Label, u32)> {
+        let mut sorted: Vec<Label> = self.labels.clone();
+        sorted.sort_unstable();
+        let mut hist: Vec<(Label, u32)> = Vec::new();
+        for l in sorted {
+            match hist.last_mut() {
+                Some((last, c)) if *last == l => *c += 1,
+                _ => hist.push((l, 1)),
+            }
+        }
+        hist
+    }
+
+    /// `true` iff `self`'s label multiset is dominated by `other`'s
+    /// (necessary condition for `self ⊆ other`).
+    pub fn labels_dominated_by(&self, other: &LabeledGraph) -> bool {
+        let a = self.label_histogram();
+        let b = other.label_histogram();
+        let mut bi = 0;
+        for (l, c) in a {
+            while bi < b.len() && b[bi].0 < l {
+                bi += 1;
+            }
+            if bi >= b.len() || b[bi].0 != l || b[bi].1 < c {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// `true` iff the graph is connected (the empty graph counts as
+    /// connected). Query graphs extracted by BFS/random walk are connected
+    /// by construction; this is asserted in workload tests.
+    pub fn is_connected(&self) -> bool {
+        let n = self.vertex_count();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0 as VertexId];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in self.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// A cheap order-invariant fingerprint `(|V|, |E|, label histogram)`.
+    ///
+    /// Two isomorphic graphs always share a signature; the GC+ exact-match
+    /// check uses signature equality as a filter before the two-way sub-iso
+    /// test of §6.3.
+    pub fn size_signature(&self) -> (usize, usize, Vec<(Label, u32)>) {
+        (self.vertex_count(), self.edge_count, self.label_histogram())
+    }
+
+    /// Degree sequence in descending order.
+    pub fn degree_sequence(&self) -> Vec<usize> {
+        let mut d: Vec<usize> = self.adj.iter().map(Vec::len).collect();
+        d.sort_unstable_by(|a, b| b.cmp(a));
+        d
+    }
+}
+
+impl Default for LabeledGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LabeledGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LabeledGraph(|V|={}, |E|={}, labels={:?}, edges={:?})",
+            self.vertex_count(),
+            self.edge_count,
+            self.labels,
+            self.edges().collect::<Vec<_>>()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> LabeledGraph {
+        LabeledGraph::from_parts(vec![0, 1, 2], &[(0, 1), (1, 2)]).unwrap()
+    }
+
+    #[test]
+    fn build_and_query() {
+        let g = path3();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.label(2), 2);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn add_edge_rejects_duplicates_and_self_loops() {
+        let mut g = path3();
+        assert_eq!(g.add_edge(0, 1), Err(GraphError::EdgeExists(0, 1)));
+        assert_eq!(g.add_edge(1, 0), Err(GraphError::EdgeExists(1, 0)));
+        assert_eq!(g.add_edge(2, 2), Err(GraphError::SelfLoop(2)));
+        assert_eq!(
+            g.add_edge(0, 9),
+            Err(GraphError::VertexOutOfRange { vertex: 9, count: 3 })
+        );
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn remove_edge_is_ur() {
+        let mut g = path3();
+        g.remove_edge(1, 2).unwrap();
+        assert!(!g.has_edge(1, 2));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.remove_edge(1, 2), Err(GraphError::EdgeMissing(1, 2)));
+        // symmetric removal works too
+        g.add_edge(2, 1).unwrap();
+        g.remove_edge(2, 1).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn edges_iterator_unique_ordered() {
+        let g = LabeledGraph::from_parts(vec![0, 0, 0, 0], &[(0, 1), (2, 1), (3, 0)]).unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn label_histogram_and_domination() {
+        let g = LabeledGraph::from_parts(vec![5, 3, 5, 5], &[]).unwrap();
+        assert_eq!(g.label_histogram(), vec![(3, 1), (5, 3)]);
+
+        let small = LabeledGraph::from_parts(vec![5, 5], &[]).unwrap();
+        let other = LabeledGraph::from_parts(vec![5, 3], &[]).unwrap();
+        assert!(small.labels_dominated_by(&g));
+        assert!(!g.labels_dominated_by(&small));
+        assert!(other.labels_dominated_by(&g));
+        assert!(!small.labels_dominated_by(&other));
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(LabeledGraph::new().is_connected());
+        assert!(path3().is_connected());
+        let disconnected = LabeledGraph::from_parts(vec![0, 0, 0], &[(0, 1)]).unwrap();
+        assert!(!disconnected.is_connected());
+        let single = LabeledGraph::from_parts(vec![0], &[]).unwrap();
+        assert!(single.is_connected());
+    }
+
+    #[test]
+    fn signature_is_order_invariant() {
+        let g1 = LabeledGraph::from_parts(vec![1, 2, 3], &[(0, 1), (1, 2)]).unwrap();
+        let g2 = LabeledGraph::from_parts(vec![3, 2, 1], &[(2, 1), (1, 0)]).unwrap();
+        assert_eq!(g1.size_signature(), g2.size_signature());
+    }
+
+    #[test]
+    fn degree_sequence_descending() {
+        let g = LabeledGraph::from_parts(vec![0; 4], &[(0, 1), (0, 2), (0, 3), (1, 2)]).unwrap();
+        assert_eq!(g.degree_sequence(), vec![3, 2, 2, 1]);
+    }
+
+    #[test]
+    fn ua_then_ur_roundtrips() {
+        let mut g = path3();
+        let before = g.clone();
+        g.add_edge(0, 2).unwrap();
+        assert_ne!(g, before);
+        g.remove_edge(0, 2).unwrap();
+        assert_eq!(g, before);
+    }
+}

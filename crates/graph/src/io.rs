@@ -1,0 +1,217 @@
+//! Line-based text IO for graphs and graph datasets.
+//!
+//! The format is the de-facto standard of the graph-indexing literature
+//! (gIndex / CT-Index / GraphQL toolchains all read a variant of it):
+//!
+//! ```text
+//! t <graph-id>        # one block per graph
+//! v <vertex-id> <label>
+//! e <u> <v>
+//! # comments and blank lines are ignored
+//! ```
+//!
+//! Vertex ids inside a block must be dense (`0..n` in order). This is how
+//! the synthetic AIDS dataset is persisted so experiment runs are
+//! reproducible across processes.
+
+use crate::graph::{GraphError, Label, LabeledGraph};
+
+/// Errors raised while parsing the text format.
+#[derive(Debug)]
+pub enum IoError {
+    /// Line could not be parsed.
+    Parse { line_no: usize, message: String },
+    /// Graph structure violation (duplicate edge etc.).
+    Graph { line_no: usize, source: GraphError },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Parse { line_no, message } => {
+                write!(f, "parse error on line {line_no}: {message}")
+            }
+            IoError::Graph { line_no, source } => {
+                write!(f, "graph error on line {line_no}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Graph { source, .. } => Some(source),
+            IoError::Parse { .. } => None,
+        }
+    }
+}
+
+fn parse_err(line_no: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse {
+        line_no,
+        message: message.into(),
+    }
+}
+
+/// Serializes one graph as a `t/v/e` block with the given id.
+pub fn write_graph(g: &LabeledGraph, id: usize) -> String {
+    let mut out = String::with_capacity(16 * (g.vertex_count() + g.edge_count()));
+    out.push_str(&format!("t {id}\n"));
+    for v in g.vertices() {
+        out.push_str(&format!("v {v} {}\n", g.label(v)));
+    }
+    for (u, v) in g.edges() {
+        out.push_str(&format!("e {u} {v}\n"));
+    }
+    out
+}
+
+/// Serializes a dataset (graph ids are the vector positions).
+pub fn write_dataset(graphs: &[LabeledGraph]) -> String {
+    let mut out = String::new();
+    for (i, g) in graphs.iter().enumerate() {
+        out.push_str(&write_graph(g, i));
+    }
+    out
+}
+
+/// Parses a single-graph document (exactly one `t` block, or none — bare
+/// `v`/`e` lines also form a graph).
+pub fn parse_graph(text: &str) -> Result<LabeledGraph, IoError> {
+    let graphs = parse_dataset(text)?;
+    match graphs.len() {
+        1 => Ok(graphs.into_iter().next().expect("len checked")),
+        n => Err(parse_err(0, format!("expected exactly one graph, found {n}"))),
+    }
+}
+
+/// Parses a multi-graph dataset document.
+pub fn parse_dataset(text: &str) -> Result<Vec<LabeledGraph>, IoError> {
+    let mut graphs: Vec<LabeledGraph> = Vec::new();
+    let mut current: Option<LabeledGraph> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().expect("non-empty line");
+        match tag {
+            "t" => {
+                if let Some(g) = current.take() {
+                    graphs.push(g);
+                }
+                current = Some(LabeledGraph::new());
+                // the id token is informational; require it to be present
+                parts
+                    .next()
+                    .ok_or_else(|| parse_err(line_no, "missing graph id after 't'"))?;
+            }
+            "v" => {
+                let g = current.get_or_insert_with(LabeledGraph::new);
+                let vid: usize = parts
+                    .next()
+                    .ok_or_else(|| parse_err(line_no, "missing vertex id"))?
+                    .parse()
+                    .map_err(|e| parse_err(line_no, format!("bad vertex id: {e}")))?;
+                let label: Label = parts
+                    .next()
+                    .ok_or_else(|| parse_err(line_no, "missing vertex label"))?
+                    .parse()
+                    .map_err(|e| parse_err(line_no, format!("bad label: {e}")))?;
+                if vid != g.vertex_count() {
+                    return Err(parse_err(
+                        line_no,
+                        format!("vertex ids must be dense: expected {}, got {vid}", g.vertex_count()),
+                    ));
+                }
+                g.add_vertex(label);
+            }
+            "e" => {
+                let g = current
+                    .as_mut()
+                    .ok_or_else(|| parse_err(line_no, "edge before any vertex"))?;
+                let u = parts
+                    .next()
+                    .ok_or_else(|| parse_err(line_no, "missing edge endpoint"))?
+                    .parse()
+                    .map_err(|e| parse_err(line_no, format!("bad endpoint: {e}")))?;
+                let v = parts
+                    .next()
+                    .ok_or_else(|| parse_err(line_no, "missing edge endpoint"))?
+                    .parse()
+                    .map_err(|e| parse_err(line_no, format!("bad endpoint: {e}")))?;
+                g.add_edge(u, v)
+                    .map_err(|source| IoError::Graph { line_no, source })?;
+            }
+            other => {
+                return Err(parse_err(line_no, format!("unknown record tag '{other}'")));
+            }
+        }
+    }
+    if let Some(g) = current.take() {
+        graphs.push(g);
+    }
+    Ok(graphs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_graph() {
+        let g = LabeledGraph::from_parts(vec![4, 2, 7], &[(0, 1), (1, 2)]).unwrap();
+        let text = write_graph(&g, 0);
+        let parsed = parse_graph(&text).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn roundtrip_dataset() {
+        let g1 = LabeledGraph::from_parts(vec![0, 1], &[(0, 1)]).unwrap();
+        let g2 = LabeledGraph::from_parts(vec![3], &[]).unwrap();
+        let text = write_dataset(&[g1.clone(), g2.clone()]);
+        let parsed = parse_dataset(&text).unwrap();
+        assert_eq!(parsed, vec![g1, g2]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\nt 0\nv 0 1\n  \n# mid\nv 1 2\ne 0 1\n";
+        let g = parse_graph(text).unwrap();
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn rejects_sparse_vertex_ids() {
+        let err = parse_graph("t 0\nv 1 5\n").unwrap_err();
+        assert!(matches!(err, IoError::Parse { line_no: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let err = parse_graph("t 0\nv 0 1\nv 1 1\ne 0 1\ne 1 0\n").unwrap_err();
+        assert!(matches!(err, IoError::Graph { line_no: 5, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_tag_and_bad_numbers() {
+        assert!(parse_dataset("x 1\n").is_err());
+        assert!(parse_dataset("t 0\nv zero 1\n").is_err());
+        assert!(parse_dataset("t 0\nv 0\n").is_err());
+        assert!(parse_dataset("e 0 1\n").is_err());
+        assert!(parse_dataset("t\n").is_err());
+    }
+
+    #[test]
+    fn multiple_graphs_expected_one() {
+        let text = "t 0\nv 0 1\nt 1\nv 0 1\n";
+        assert!(parse_graph(text).is_err());
+        assert_eq!(parse_dataset(text).unwrap().len(), 2);
+    }
+}

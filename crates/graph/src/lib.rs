@@ -1,0 +1,34 @@
+//! Labeled undirected graph primitives for GraphCache+ (GC+).
+//!
+//! This crate is the lowest substrate of the GC+ reproduction. It provides:
+//!
+//! * [`LabeledGraph`] — an undirected graph with vertex labels and mutable
+//!   edge set (the paper's UA/UR dataset updates mutate edges in place);
+//! * [`BitSet`] — a growable bitset used for the per-cached-query answer
+//!   sets (`Answer`) and validity indicators (`CGvalid`) of the paper's
+//!   Algorithm 2, and for the candidate-set algebra of formulas (1)–(5);
+//! * [`generate`] — random graph construction and the two query-extraction
+//!   primitives behind the paper's Type A (BFS) and Type B (random walk)
+//!   workloads;
+//! * [`io`] — a line-based text format for graphs and graph datasets;
+//! * [`stats`] — dataset summary statistics (used to certify that the
+//!   synthetic AIDS substitute matches the published moments).
+//!
+//! GC+ follows the paper's model: undirected graphs, labels on vertices
+//! only, non-induced subgraph isomorphism. Everything generalizes to edge
+//! labels but the reproduction sticks to the published setting.
+
+pub mod bitset;
+pub mod canon;
+pub mod generate;
+pub mod graph;
+pub mod io;
+pub mod source;
+pub mod stats;
+pub mod zipf;
+
+pub use bitset::BitSet;
+pub use canon::{canonical_form, isomorphic, CanonicalForm};
+pub use graph::{GraphError, Label, LabeledGraph, VertexId};
+pub use source::GraphSource;
+pub use zipf::Zipf;

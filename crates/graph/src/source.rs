@@ -1,0 +1,70 @@
+//! Abstraction over "a collection of graphs addressable by stable id".
+//!
+//! Method M (the external SI method GC+ expedites) scans a candidate set of
+//! dataset-graph ids and fetches each graph to run the sub-iso test. The
+//! dataset store lives in `gc-dataset`, but the scan lives in `gc-subiso`;
+//! this trait decouples the two. Ids are stable across ADD/DEL (they are
+//! never reused), matching the paper's `BitSet` indexing.
+
+use crate::graph::LabeledGraph;
+
+/// A collection of labeled graphs addressable by stable id.
+pub trait GraphSource {
+    /// Returns the graph with the given id, or `None` if the id was never
+    /// assigned or the graph has been deleted.
+    fn graph(&self, id: usize) -> Option<&LabeledGraph>;
+
+    /// Number of ids ever assigned (i.e. `max_id + 1`); deleted ids still
+    /// count. Bit positions in answer/validity sets range over `0..span()`.
+    fn id_span(&self) -> usize;
+}
+
+impl GraphSource for [LabeledGraph] {
+    fn graph(&self, id: usize) -> Option<&LabeledGraph> {
+        self.get(id)
+    }
+    fn id_span(&self) -> usize {
+        self.len()
+    }
+}
+
+impl GraphSource for Vec<LabeledGraph> {
+    fn graph(&self, id: usize) -> Option<&LabeledGraph> {
+        self.get(id)
+    }
+    fn id_span(&self) -> usize {
+        self.len()
+    }
+}
+
+impl<T: GraphSource + ?Sized> GraphSource for &T {
+    fn graph(&self, id: usize) -> Option<&LabeledGraph> {
+        (**self).graph(id)
+    }
+    fn id_span(&self) -> usize {
+        (**self).id_span()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_and_slice_sources() {
+        let graphs = vec![
+            LabeledGraph::from_parts(vec![0], &[]).unwrap(),
+            LabeledGraph::from_parts(vec![1, 1], &[(0, 1)]).unwrap(),
+        ];
+        assert_eq!(graphs.id_span(), 2);
+        assert_eq!(graphs.graph(1).unwrap().edge_count(), 1);
+        assert!(graphs.graph(2).is_none());
+
+        let slice: &[LabeledGraph] = &graphs;
+        assert_eq!(slice.id_span(), 2);
+        assert!(slice.graph(0).is_some());
+
+        let by_ref = &graphs;
+        assert_eq!(GraphSource::id_span(&by_ref), 2);
+    }
+}

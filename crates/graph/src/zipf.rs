@@ -1,0 +1,144 @@
+//! Finite-domain Zipf sampling.
+//!
+//! The paper draws source graphs, start nodes and pool queries from a Zipf
+//! distribution with pdf `p(x) = x^{-α} / ζ(α)` (§7.1, default `α = 1.4`),
+//! and the synthetic AIDS substitute uses a Zipf over the label alphabet to
+//! mimic chemistry's carbon-dominated label skew. Over a finite domain of
+//! `n` ranks the normalizer is the generalized harmonic number
+//! `H_{n,α} = Σ_{k=1..n} k^{-α}`; sampling inverts the precomputed CDF with
+//! a binary search — O(n) setup, O(log n) per draw, exact.
+
+use rand::Rng;
+
+/// A sampler for `P(rank = k) ∝ (k+1)^{-α}` over ranks `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    alpha: f64,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n ≥ 1` ranks with skew `α > 0`.
+    ///
+    /// Panics if `n == 0` or `α` is not finite and positive.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n >= 1, "Zipf domain must be non-empty");
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "Zipf alpha must be positive and finite"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // guard against FP rounding: last entry must be exactly 1
+        *cdf.last_mut().expect("n >= 1") = 1.0;
+        Zipf { cdf, alpha }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` iff the domain has a single rank.
+    pub fn is_empty(&self) -> bool {
+        false // domain is never empty by construction
+    }
+
+    /// The skew parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Probability mass of rank `k` (0-based).
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k >= self.cdf.len() {
+            return 0.0;
+        }
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Draws a rank in `0..len()`. Rank 0 is the most likely.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        // first index with cdf[i] >= u
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one_and_decays() {
+        let z = Zipf::new(100, 1.4);
+        let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for k in 1..100 {
+            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12, "pmf must be non-increasing");
+        }
+        assert_eq!(z.pmf(100), 0.0);
+    }
+
+    #[test]
+    fn pmf_matches_definition() {
+        let z = Zipf::new(5, 2.0);
+        let h: f64 = (1..=5).map(|k| (k as f64).powi(-2)).sum();
+        for k in 0..5 {
+            let expected = ((k + 1) as f64).powi(-2) / h;
+            assert!((z.pmf(k) - expected).abs() < 1e-9, "rank {k}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_skewed_correctly() {
+        let z = Zipf::new(50, 1.4);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0u32; 50];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // empirical frequency of rank 0 within 5% of theory
+        let emp0 = counts[0] as f64 / draws as f64;
+        assert!((emp0 - z.pmf(0)).abs() < 0.05 * z.pmf(0) + 0.005, "emp0={emp0}");
+        // monotone-ish decay on the head
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[4]);
+    }
+
+    #[test]
+    fn single_rank_domain() {
+        let z = Zipf::new(1, 1.4);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.pmf(0), 1.0);
+        assert_eq!(z.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_domain_panics() {
+        let _ = Zipf::new(0, 1.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_panics() {
+        let _ = Zipf::new(5, f64::NAN);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property tests for the graph substrate: the bitset is checked against a
+//! `HashSet<usize>` reference model, and graph mutation against a naive
+//! edge-set model. These are the foundations every higher layer (Algorithm
+//! 2 validity bits, formulas (1)–(5) candidate algebra) builds on.
+
+use std::collections::HashSet;
+
+use gc_graph::{BitSet, LabeledGraph};
+use proptest::prelude::*;
+
+/// Ops applied to both the BitSet under test and a HashSet model.
+#[derive(Debug, Clone)]
+enum BitOp {
+    Set(usize),
+    Clear(usize),
+}
+
+fn bitop() -> impl Strategy<Value = BitOp> {
+    prop_oneof![
+        (0usize..512).prop_map(BitOp::Set),
+        (0usize..512).prop_map(BitOp::Clear),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn bitset_matches_hashset_model(ops in prop::collection::vec(bitop(), 0..200)) {
+        let mut bs = BitSet::new();
+        let mut model: HashSet<usize> = HashSet::new();
+        for op in ops {
+            match op {
+                BitOp::Set(i) => {
+                    bs.set(i, true);
+                    model.insert(i);
+                }
+                BitOp::Clear(i) => {
+                    bs.set(i, false);
+                    model.remove(&i);
+                }
+            }
+        }
+        prop_assert_eq!(bs.count_ones(), model.len());
+        let mut expected: Vec<usize> = model.iter().copied().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(bs.iter_ones().collect::<Vec<_>>(), expected);
+        for i in 0..512 {
+            prop_assert_eq!(bs.get(i), model.contains(&i));
+        }
+    }
+
+    #[test]
+    fn bitset_algebra_matches_sets(
+        a in prop::collection::hash_set(0usize..256, 0..64),
+        b in prop::collection::hash_set(0usize..256, 0..64),
+    ) {
+        let ba = BitSet::from_indices(a.iter().copied());
+        let bb = BitSet::from_indices(b.iter().copied());
+
+        let union: HashSet<usize> = a.union(&b).copied().collect();
+        let inter: HashSet<usize> = a.intersection(&b).copied().collect();
+        let diff: HashSet<usize> = a.difference(&b).copied().collect();
+
+        prop_assert_eq!(
+            ba.union(&bb).iter_ones().collect::<HashSet<_>>(), union);
+        prop_assert_eq!(
+            ba.intersection(&bb).iter_ones().collect::<HashSet<_>>(), inter);
+        prop_assert_eq!(
+            ba.difference(&bb).iter_ones().collect::<HashSet<_>>(), diff);
+        prop_assert_eq!(ba.is_subset_of(&bb), a.is_subset(&b));
+        prop_assert_eq!(ba.is_disjoint(&bb), a.is_disjoint(&b));
+    }
+
+    /// The fused supergraph-hit filter equals its definitional expansion:
+    /// cs ∩ (¬valid ∪ answer).
+    #[test]
+    fn retain_super_hit_matches_definition(
+        cs in prop::collection::hash_set(0usize..128, 0..64),
+        valid in prop::collection::hash_set(0usize..128, 0..64),
+        answer in prop::collection::hash_set(0usize..128, 0..64),
+    ) {
+        let mut got = BitSet::from_indices(cs.iter().copied());
+        got.retain_super_hit(
+            &BitSet::from_indices(valid.iter().copied()),
+            &BitSet::from_indices(answer.iter().copied()),
+        );
+        let expected: HashSet<usize> = cs
+            .iter()
+            .copied()
+            .filter(|g| !valid.contains(g) || answer.contains(g))
+            .collect();
+        prop_assert_eq!(got.iter_ones().collect::<HashSet<_>>(), expected);
+    }
+}
+
+/// A simple reference model of an undirected simple graph.
+#[derive(Debug, Default)]
+struct EdgeModel {
+    edges: HashSet<(u32, u32)>,
+}
+
+impl EdgeModel {
+    fn key(u: u32, v: u32) -> (u32, u32) {
+        (u.min(v), u.max(v))
+    }
+    fn insert(&mut self, u: u32, v: u32) -> bool {
+        self.edges.insert(Self::key(u, v))
+    }
+    fn remove(&mut self, u: u32, v: u32) -> bool {
+        self.edges.remove(&Self::key(u, v))
+    }
+    fn contains(&self, u: u32, v: u32) -> bool {
+        self.edges.contains(&Self::key(u, v))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum EdgeOp {
+    Add(u32, u32),
+    Remove(u32, u32),
+}
+
+fn edgeop(n: u32) -> impl Strategy<Value = EdgeOp> {
+    prop_oneof![
+        (0..n, 0..n).prop_map(|(u, v)| EdgeOp::Add(u, v)),
+        (0..n, 0..n).prop_map(|(u, v)| EdgeOp::Remove(u, v)),
+    ]
+}
+
+proptest! {
+    /// Edge mutation (the UA/UR dataset updates) agrees with a HashSet edge
+    /// model: success/failure of each op and the final edge set both match.
+    #[test]
+    fn graph_mutation_matches_model(ops in prop::collection::vec(edgeop(12), 0..100)) {
+        let n = 12u32;
+        let mut g = LabeledGraph::new();
+        for i in 0..n {
+            g.add_vertex((i % 3) as u16);
+        }
+        let mut model = EdgeModel::default();
+        for op in ops {
+            match op {
+                EdgeOp::Add(u, v) => {
+                    let ok = g.add_edge(u, v).is_ok();
+                    let expected = u != v && !model.contains(u, v);
+                    prop_assert_eq!(ok, expected);
+                    if expected {
+                        model.insert(u, v);
+                    }
+                }
+                EdgeOp::Remove(u, v) => {
+                    let ok = g.remove_edge(u, v).is_ok();
+                    let expected = u != v && model.contains(u, v);
+                    prop_assert_eq!(ok, expected);
+                    if expected {
+                        model.remove(u, v);
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(g.edge_count(), model.edges.len());
+        for u in 0..n {
+            for v in 0..n {
+                if u != v {
+                    prop_assert_eq!(g.has_edge(u, v), model.contains(u, v));
+                }
+            }
+        }
+        // adjacency stays sorted & mirrored
+        for u in 0..n {
+            let ns = g.neighbors(u);
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]));
+            for &v in ns {
+                prop_assert!(g.neighbors(v).contains(&u));
+            }
+        }
+    }
+
+    /// Text IO round-trips arbitrary generated graphs.
+    #[test]
+    fn io_roundtrip(seed in 0u64..1000) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.random_range(1..30usize);
+        let extra = if n >= 4 { rng.random_range(0..n) } else { 0 };
+        let g = gc_graph::generate::random_connected_graph(
+            &mut rng, n, extra, |r| r.random_range(0..10u16));
+        let text = gc_graph::io::write_graph(&g, 7);
+        let parsed = gc_graph::io::parse_graph(&text).unwrap();
+        prop_assert_eq!(parsed, g);
+    }
+}

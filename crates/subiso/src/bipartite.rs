@@ -1,0 +1,101 @@
+//! Maximum bipartite matching (Kuhn's augmenting-path algorithm).
+//!
+//! GraphQL's global refinement keeps target vertex `v` as a candidate for
+//! pattern vertex `u` only if the bipartite graph between `N(u)` and `N(v)`
+//! (edges = candidate-compatibility) has a matching saturating `N(u)` — a
+//! *semi-perfect matching*. Neighborhoods are small (molecule-like graphs
+//! have bounded valence; query graphs have ≤ ~21 vertices), so the O(V·E)
+//! Kuhn algorithm is the right tool — no Hopcroft–Karp needed.
+
+/// Computes the size of a maximum matching in a bipartite graph given as
+/// `left_adj[l] = list of right-vertex indices compatible with l`.
+/// `right_count` is the number of right vertices.
+pub fn maximum_matching(left_adj: &[Vec<usize>], right_count: usize) -> usize {
+    let mut match_right: Vec<Option<usize>> = vec![None; right_count];
+    let mut size = 0;
+    let mut visited = vec![false; right_count];
+    for l in 0..left_adj.len() {
+        visited.iter_mut().for_each(|v| *v = false);
+        if augment(l, left_adj, &mut match_right, &mut visited) {
+            size += 1;
+        }
+    }
+    size
+}
+
+/// `true` iff a matching exists that saturates every left vertex.
+pub fn has_saturating_matching(left_adj: &[Vec<usize>], right_count: usize) -> bool {
+    if left_adj.len() > right_count {
+        return false;
+    }
+    maximum_matching(left_adj, right_count) == left_adj.len()
+}
+
+fn augment(
+    l: usize,
+    left_adj: &[Vec<usize>],
+    match_right: &mut Vec<Option<usize>>,
+    visited: &mut [bool],
+) -> bool {
+    for &r in &left_adj[l] {
+        if !visited[r] {
+            visited[r] = true;
+            let reassigned = match match_right[r] {
+                None => true,
+                Some(prev) => augment(prev, left_adj, match_right, visited),
+            };
+            if reassigned {
+                match_right[r] = Some(l);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_left_is_saturated() {
+        assert!(has_saturating_matching(&[], 0));
+        assert!(has_saturating_matching(&[], 5));
+        assert_eq!(maximum_matching(&[], 3), 0);
+    }
+
+    #[test]
+    fn perfect_matching_found() {
+        // 3x3 with a unique perfect matching 0-1, 1-0, 2-2
+        let adj = vec![vec![1], vec![0, 1], vec![1, 2]];
+        assert_eq!(maximum_matching(&adj, 3), 3);
+        assert!(has_saturating_matching(&adj, 3));
+    }
+
+    #[test]
+    fn augmenting_path_needed() {
+        // greedy assignment of 0→0 must be undone for 1 to match
+        let adj = vec![vec![0, 1], vec![0]];
+        assert_eq!(maximum_matching(&adj, 2), 2);
+    }
+
+    #[test]
+    fn unsaturable_cases() {
+        // two left vertices compete for one right vertex
+        let adj = vec![vec![0], vec![0]];
+        assert_eq!(maximum_matching(&adj, 1), 1);
+        assert!(!has_saturating_matching(&adj, 1));
+        // more left than right can never saturate
+        assert!(!has_saturating_matching(&[vec![0], vec![0], vec![0]], 2));
+        // isolated left vertex
+        assert!(!has_saturating_matching(&[vec![]], 4));
+    }
+
+    #[test]
+    fn hall_violation_detected() {
+        // left {0,1,2} all map into right {0,1}: |N(S)| < |S|
+        let adj = vec![vec![0, 1], vec![0, 1], vec![0, 1], vec![2]];
+        assert_eq!(maximum_matching(&adj, 3), 3);
+        assert!(!has_saturating_matching(&adj, 3));
+    }
+}

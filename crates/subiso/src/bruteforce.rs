@@ -1,0 +1,138 @@
+//! A deliberately naive exhaustive matcher — the testing oracle.
+//!
+//! It enumerates injective label-preserving vertex assignments in plain
+//! input order and checks *all* pattern edges only at the leaves. No
+//! ordering heuristics, no lookahead, no candidate filtering — so a bug in
+//! VF2/VF2+/GQL pruning cannot be masked by a shared implementation
+//! artifact. Only usable on tiny graphs; tests keep patterns ≤ 7 vertices.
+
+use gc_graph::{LabeledGraph, VertexId};
+
+use crate::{MatchStats, SubgraphMatcher};
+
+/// Exhaustive-search oracle matcher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BruteForce;
+
+struct Search<'g> {
+    pattern: &'g LabeledGraph,
+    target: &'g LabeledGraph,
+    assignment: Vec<VertexId>,
+    used: Vec<bool>,
+    nodes: u64,
+}
+
+impl Search<'_> {
+    fn run(&mut self, depth: usize) -> bool {
+        if depth == self.pattern.vertex_count() {
+            return self.leaf_check();
+        }
+        for v in 0..self.target.vertex_count() as VertexId {
+            if self.used[v as usize] {
+                continue;
+            }
+            if self.pattern.label(depth as VertexId) != self.target.label(v) {
+                continue;
+            }
+            self.nodes += 1;
+            self.assignment.push(v);
+            self.used[v as usize] = true;
+            if self.run(depth + 1) {
+                return true;
+            }
+            self.used[v as usize] = false;
+            self.assignment.pop();
+        }
+        false
+    }
+
+    fn leaf_check(&self) -> bool {
+        self.pattern.edges().all(|(a, b)| {
+            self.target
+                .has_edge(self.assignment[a as usize], self.assignment[b as usize])
+        })
+    }
+}
+
+impl SubgraphMatcher for BruteForce {
+    fn name(&self) -> &'static str {
+        "BruteForce"
+    }
+
+    fn contains_with_stats(
+        &self,
+        pattern: &LabeledGraph,
+        target: &LabeledGraph,
+    ) -> (bool, MatchStats) {
+        if pattern.vertex_count() > target.vertex_count() {
+            return (false, MatchStats::default());
+        }
+        let mut s = Search {
+            pattern,
+            target,
+            assignment: Vec::with_capacity(pattern.vertex_count()),
+            used: vec![false; target.vertex_count()],
+            nodes: 0,
+        };
+        let found = s.run(0);
+        (found, MatchStats { nodes: s.nodes })
+    }
+
+    fn find_embedding(
+        &self,
+        pattern: &LabeledGraph,
+        target: &LabeledGraph,
+    ) -> Option<Vec<VertexId>> {
+        if pattern.vertex_count() > target.vertex_count() {
+            return None;
+        }
+        let mut s = Search {
+            pattern,
+            target,
+            assignment: Vec::with_capacity(pattern.vertex_count()),
+            used: vec![false; target.vertex_count()],
+            nodes: 0,
+        };
+        if s.run(0) {
+            Some(s.assignment)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vf2::verify_embedding;
+
+    fn g(labels: Vec<u16>, edges: &[(u32, u32)]) -> LabeledGraph {
+        LabeledGraph::from_parts(labels, edges).unwrap()
+    }
+
+    #[test]
+    fn basics() {
+        let tri = g(vec![0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
+        let p3 = g(vec![0, 0, 0], &[(0, 1), (1, 2)]);
+        assert!(BruteForce.contains(&p3, &tri));
+        assert!(!BruteForce.contains(&tri, &p3));
+        assert!(BruteForce.contains(&LabeledGraph::new(), &tri));
+    }
+
+    #[test]
+    fn embedding_checks_out() {
+        let p = g(vec![0, 1], &[(0, 1)]);
+        let t = g(vec![1, 0], &[(0, 1)]);
+        let e = BruteForce.find_embedding(&p, &t).unwrap();
+        assert!(verify_embedding(&p, &t, &e));
+        assert_eq!(e, vec![1, 0]);
+    }
+
+    #[test]
+    fn labels_respected() {
+        let p = g(vec![7], &[]);
+        let t = g(vec![1, 2], &[(0, 1)]);
+        assert!(!BruteForce.contains(&p, &t));
+        assert!(BruteForce.find_embedding(&p, &t).is_none());
+    }
+}

@@ -1,0 +1,87 @@
+//! Cheap necessary-condition filters applied before any sub-iso search.
+//!
+//! These are the standard quick rejects shared by every SI algorithm:
+//! vertex/edge counts, label-multiset domination, and degree-sequence
+//! domination. None of them is sufficient — they only rule out pairs that
+//! *cannot* satisfy `pattern ⊆ target`. GC+ also uses them internally when
+//! probing the (≤ cache+window sized) set of cached queries for
+//! subgraph/supergraph hits.
+
+use gc_graph::LabeledGraph;
+
+/// Returns `false` if `pattern ⊆ target` is impossible for trivial
+/// counting reasons; `true` means "cannot rule out".
+pub fn may_contain(pattern: &LabeledGraph, target: &LabeledGraph) -> bool {
+    if pattern.vertex_count() > target.vertex_count()
+        || pattern.edge_count() > target.edge_count()
+    {
+        return false;
+    }
+    if !pattern.labels_dominated_by(target) {
+        return false;
+    }
+    degree_sequence_dominated(pattern, target)
+}
+
+/// Sorted-descending degree-sequence domination: the i-th largest pattern
+/// degree must be ≤ the i-th largest target degree. Necessary for
+/// non-induced containment because an embedding maps each pattern vertex
+/// onto a target vertex of at least its degree, injectively.
+pub fn degree_sequence_dominated(pattern: &LabeledGraph, target: &LabeledGraph) -> bool {
+    let dp = pattern.degree_sequence();
+    let dt = target.degree_sequence();
+    if dp.len() > dt.len() {
+        return false;
+    }
+    dp.iter().zip(dt.iter()).all(|(p, t)| p <= t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::LabeledGraph;
+
+    fn g(labels: Vec<u16>, edges: &[(u32, u32)]) -> LabeledGraph {
+        LabeledGraph::from_parts(labels, edges).unwrap()
+    }
+
+    #[test]
+    fn size_rejects() {
+        let big = g(vec![0, 0, 0], &[(0, 1), (1, 2)]);
+        let small = g(vec![0, 0], &[(0, 1)]);
+        assert!(!may_contain(&big, &small));
+        assert!(may_contain(&small, &big));
+    }
+
+    #[test]
+    fn label_rejects() {
+        let p = g(vec![5], &[]);
+        let t = g(vec![1, 2, 3], &[(0, 1)]);
+        assert!(!may_contain(&p, &t));
+    }
+
+    #[test]
+    fn degree_sequence_rejects_star_in_path() {
+        // star K1,3 cannot embed in P4 (max degree 2) despite equal sizes
+        let star = g(vec![0, 0, 0, 0], &[(0, 1), (0, 2), (0, 3)]);
+        let path = g(vec![0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3)]);
+        assert!(!may_contain(&star, &path));
+        assert!(!may_contain(&path, &star)); // P4 has 3 edges = star, but degrees [2,2,1,1] vs [3,1,1,1]
+    }
+
+    #[test]
+    fn filter_accepts_plausible_pair() {
+        let tri = g(vec![0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
+        let p2 = g(vec![0, 0], &[(0, 1)]);
+        assert!(may_contain(&p2, &tri));
+        assert!(may_contain(&tri, &tri));
+    }
+
+    #[test]
+    fn empty_pattern_always_may() {
+        let empty = LabeledGraph::new();
+        let t = g(vec![0], &[]);
+        assert!(may_contain(&empty, &t));
+        assert!(may_contain(&empty, &empty));
+    }
+}

@@ -1,0 +1,266 @@
+//! "Method M" — the external SI method GC+ is called to expedite.
+//!
+//! Per the paper's architecture (§4), Method M consists of an SI
+//! implementation (`Mverifier`) applied to a candidate set `CS_M(g)` —
+//! the whole live dataset when GC+ is not in front. [`MethodM::run`] scans
+//! the candidate set, runs one sub-iso decision per candidate, and returns
+//! the answer bitset plus the number of tests executed. That test count is
+//! the denominator/numerator of Figure 5's speedups, and is *identical*
+//! for every SI algorithm under the same pruned candidate set — the paper's
+//! observation that Figure 5 is Method-M-independent falls out of this
+//! structure.
+//!
+//! The scan optionally fans out over threads (`parallelism > 1`) using
+//! crossbeam scoped threads. Results are deterministic either way: the
+//! answer is a set, and the test count equals the candidate count.
+
+use gc_graph::{BitSet, GraphSource, LabeledGraph};
+
+use crate::Algorithm;
+
+/// Whether a query asks for dataset graphs *containing* it (subgraph
+/// query) or *contained in* it (supergraph query) — paper §3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// Find all `G` with `g ⊆ G`.
+    Subgraph,
+    /// Find all `G` with `G ⊆ g`.
+    Supergraph,
+}
+
+impl QueryKind {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryKind::Subgraph => "subgraph",
+            QueryKind::Supergraph => "supergraph",
+        }
+    }
+}
+
+/// Result of a Method M scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodAnswer {
+    /// Ids of candidate graphs that passed the sub-iso test.
+    pub answer: BitSet,
+    /// Number of sub-iso tests executed (= candidates examined).
+    pub tests: u64,
+}
+
+/// Method M: an SI algorithm plus a scan strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct MethodM {
+    /// Which verifier to use.
+    pub algorithm: Algorithm,
+    /// Worker threads for the scan; `1` = sequential (deterministic wall
+    /// clock, still deterministic answers either way).
+    pub parallelism: usize,
+}
+
+impl MethodM {
+    /// Sequential Method M over the given algorithm.
+    pub fn new(algorithm: Algorithm) -> Self {
+        MethodM {
+            algorithm,
+            parallelism: 1,
+        }
+    }
+
+    /// Parallel Method M (`threads` clamped to ≥ 1).
+    pub fn parallel(algorithm: Algorithm, threads: usize) -> Self {
+        MethodM {
+            algorithm,
+            parallelism: threads.max(1),
+        }
+    }
+
+    /// Decides one sub-iso test according to the query kind.
+    #[inline]
+    pub fn decide(&self, query: &LabeledGraph, kind: QueryKind, dataset_graph: &LabeledGraph) -> bool {
+        let m = self.algorithm.matcher();
+        match kind {
+            QueryKind::Subgraph => m.contains(query, dataset_graph),
+            QueryKind::Supergraph => m.contains(dataset_graph, query),
+        }
+    }
+
+    /// Scans `candidates` (ids into `source`), running one sub-iso test per
+    /// present graph. Ids whose graph has been deleted are skipped without
+    /// counting a test (they cannot appear in a live candidate set anyway).
+    pub fn run<S: GraphSource + Sync + ?Sized>(
+        &self,
+        query: &LabeledGraph,
+        kind: QueryKind,
+        source: &S,
+        candidates: &BitSet,
+    ) -> MethodAnswer {
+        if self.parallelism <= 1 {
+            return self.run_sequential(query, kind, source, candidates);
+        }
+        let ids: Vec<usize> = candidates.iter_ones().collect();
+        if ids.len() < 2 * self.parallelism {
+            return self.run_sequential(query, kind, source, candidates);
+        }
+        let chunk = ids.len().div_ceil(self.parallelism);
+        let mut partials: Vec<(BitSet, u64)> = Vec::new();
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = ids
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move |_| {
+                        let mut answer = BitSet::new();
+                        let mut tests = 0u64;
+                        for &id in part {
+                            if let Some(g) = source.graph(id) {
+                                tests += 1;
+                                if self.decide(query, kind, g) {
+                                    answer.set(id, true);
+                                }
+                            }
+                        }
+                        (answer, tests)
+                    })
+                })
+                .collect();
+            for h in handles {
+                partials.push(h.join().expect("scan worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+        let mut answer = BitSet::new();
+        let mut tests = 0;
+        for (a, t) in partials {
+            answer.union_with(&a);
+            tests += t;
+        }
+        MethodAnswer { answer, tests }
+    }
+
+    fn run_sequential<S: GraphSource + ?Sized>(
+        &self,
+        query: &LabeledGraph,
+        kind: QueryKind,
+        source: &S,
+        candidates: &BitSet,
+    ) -> MethodAnswer {
+        let mut answer = BitSet::new();
+        let mut tests = 0u64;
+        for id in candidates.iter_ones() {
+            if let Some(g) = source.graph(id) {
+                tests += 1;
+                if self.decide(query, kind, g) {
+                    answer.set(id, true);
+                }
+            }
+        }
+        MethodAnswer { answer, tests }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::LabeledGraph;
+
+    fn g(labels: Vec<u16>, edges: &[(u32, u32)]) -> LabeledGraph {
+        LabeledGraph::from_parts(labels, edges).unwrap()
+    }
+
+    fn dataset() -> Vec<LabeledGraph> {
+        vec![
+            g(vec![0, 0, 0], &[(0, 1), (1, 2), (0, 2)]), // triangle
+            g(vec![0, 0, 0], &[(0, 1), (1, 2)]),         // path3
+            g(vec![0, 0], &[(0, 1)]),                    // edge
+            g(vec![1, 1], &[(0, 1)]),                    // labeled edge
+        ]
+    }
+
+    #[test]
+    fn subgraph_scan() {
+        let data = dataset();
+        let query = g(vec![0, 0], &[(0, 1)]); // one 0-0 edge
+        let m = MethodM::new(Algorithm::Vf2);
+        let cands = BitSet::from_indices(0..4);
+        let r = m.run(&query, QueryKind::Subgraph, &data, &cands);
+        assert_eq!(r.tests, 4);
+        assert_eq!(r.answer.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn supergraph_scan() {
+        let data = dataset();
+        // query: triangle — contains itself, path3 and the 0-0 edge
+        let query = g(vec![0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
+        let m = MethodM::new(Algorithm::GraphQl);
+        let cands = BitSet::from_indices(0..4);
+        let r = m.run(&query, QueryKind::Supergraph, &data, &cands);
+        assert_eq!(r.answer.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn candidate_restriction_limits_tests() {
+        let data = dataset();
+        let query = g(vec![0, 0], &[(0, 1)]);
+        let m = MethodM::new(Algorithm::Vf2Plus);
+        let cands = BitSet::from_indices([1usize, 3]);
+        let r = m.run(&query, QueryKind::Subgraph, &data, &cands);
+        assert_eq!(r.tests, 2);
+        assert_eq!(r.answer.iter_ones().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn missing_ids_are_skipped() {
+        let data = dataset();
+        let query = g(vec![0, 0], &[(0, 1)]);
+        let m = MethodM::new(Algorithm::Vf2);
+        let cands = BitSet::from_indices([2usize, 9, 17]);
+        let r = m.run(&query, QueryKind::Subgraph, &data, &cands);
+        assert_eq!(r.tests, 1);
+        assert_eq!(r.answer.iter_ones().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let mut data = Vec::new();
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let n = rng.random_range(3..12usize);
+            let extra = rng.random_range(0..n);
+            data.push(gc_graph::generate::random_connected_graph(
+                &mut rng,
+                n,
+                extra,
+                |r| r.random_range(0..3u16),
+            ));
+        }
+        let query = gc_graph::generate::bfs_extract(&mut rng, &data[7], 0, 3).unwrap();
+        let cands = BitSet::from_indices(0..50);
+        for algo in Algorithm::ALL {
+            let seq = MethodM::new(algo).run(&query, QueryKind::Subgraph, &data, &cands);
+            let par =
+                MethodM::parallel(algo, 4).run(&query, QueryKind::Subgraph, &data, &cands);
+            assert_eq!(seq, par, "algo {algo}");
+            assert!(seq.answer.get(7), "query came from graph 7");
+        }
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_scan() {
+        let data = dataset();
+        let queries = [
+            g(vec![0, 0, 0], &[(0, 1), (1, 2)]),
+            g(vec![1, 1], &[(0, 1)]),
+            g(vec![2], &[]),
+        ];
+        let cands = BitSet::from_indices(0..4);
+        for q in &queries {
+            let results: Vec<_> = Algorithm::ALL
+                .iter()
+                .map(|&a| MethodM::new(a).run(q, QueryKind::Subgraph, &data, &cands).answer)
+                .collect();
+            assert_eq!(results[0], results[1]);
+            assert_eq!(results[1], results[2]);
+        }
+    }
+}

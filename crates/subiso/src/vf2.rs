@@ -1,0 +1,490 @@
+//! VF2 for non-induced subgraph isomorphism (Cordella, Foggia, Sansone,
+//! Vento, TPAMI 2004 — the monomorphism variant).
+//!
+//! The module hosts a shared backtracking engine (`Vf2Engine`) that both
+//! vanilla VF2 and VF2+ instantiate; the two differ only in their static
+//! variable ordering and candidate-pruning options, which is exactly how
+//! CT-Index's "modified VF2" is described relative to the original.
+//!
+//! ### Feasibility rules (monomorphism-safe)
+//!
+//! Matching pattern vertex `u` onto target vertex `v` requires:
+//!
+//! 1. `l(u) = l(v)` and `v` unused;
+//! 2. *consistency*: every already-mapped neighbor `w` of `u` has
+//!    `(v, φ(w)) ∈ E(T)` — pattern edges must be preserved (target-only
+//!    edges are fine: the containment is non-induced);
+//! 3. *lookahead (cardinality)*: `u`'s unmapped neighbors must not
+//!    outnumber `v`'s unused neighbors — each future neighbor of `u` must
+//!    land on a distinct unused neighbor of `v`;
+//! 4. *lookahead (terminal)*: `u`'s unmapped neighbors already adjacent to
+//!    the mapped region must not outnumber `v`'s unused neighbors adjacent
+//!    to the used region.
+//!
+//! Rules 3–4 are the original VF2 cut rules with `≤` comparisons, the form
+//! that stays sound for non-induced containment.
+
+use gc_graph::{LabeledGraph, VertexId};
+
+use crate::{MatchStats, SubgraphMatcher};
+
+const UNMAPPED: u32 = u32::MAX;
+
+/// Pruning/ordering configuration distinguishing VF2 from VF2+.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EngineOptions {
+    /// Require `deg(v) ≥ deg(u)` for candidates (VF2+).
+    pub degree_check: bool,
+    /// Require `v`'s unused neighbor labels to dominate `u`'s unmapped
+    /// neighbor labels (VF2+).
+    pub neighbor_label_check: bool,
+    /// Rare-label-first, degree-descending static ordering (VF2+); vanilla
+    /// VF2 uses plain connectivity order by vertex id.
+    pub rare_label_order: bool,
+}
+
+pub(crate) struct Vf2Engine<'g> {
+    pattern: &'g LabeledGraph,
+    target: &'g LabeledGraph,
+    opts: EngineOptions,
+    order: Vec<VertexId>,
+    /// pattern → target mapping (UNMAPPED sentinel).
+    map: Vec<u32>,
+    used: Vec<bool>,
+    /// Per pattern vertex: number of mapped neighbors ("terminal" degree).
+    t_pat: Vec<u32>,
+    /// Per target vertex: number of used neighbors.
+    t_tgt: Vec<u32>,
+    nodes: u64,
+}
+
+impl<'g> Vf2Engine<'g> {
+    pub(crate) fn new(
+        pattern: &'g LabeledGraph,
+        target: &'g LabeledGraph,
+        opts: EngineOptions,
+    ) -> Self {
+        let order = if opts.rare_label_order {
+            rare_label_order(pattern, target)
+        } else {
+            connectivity_order(pattern)
+        };
+        Vf2Engine {
+            pattern,
+            target,
+            opts,
+            order,
+            map: vec![UNMAPPED; pattern.vertex_count()],
+            used: vec![false; target.vertex_count()],
+            t_pat: vec![0; pattern.vertex_count()],
+            t_tgt: vec![0; target.vertex_count()],
+            nodes: 0,
+        }
+    }
+
+    /// Runs the search; returns the embedding if one exists.
+    pub(crate) fn run(mut self) -> (Option<Vec<VertexId>>, MatchStats) {
+        if self.pattern.vertex_count() > self.target.vertex_count()
+            || self.pattern.edge_count() > self.target.edge_count()
+        {
+            return (None, MatchStats { nodes: 0 });
+        }
+        let found = self.search(0);
+        let stats = MatchStats { nodes: self.nodes };
+        if found {
+            (Some(self.map), stats)
+        } else {
+            (None, stats)
+        }
+    }
+
+    fn search(&mut self, depth: usize) -> bool {
+        if depth == self.order.len() {
+            return true;
+        }
+        let u = self.order[depth];
+        // Candidate pool: neighbors of an already-mapped pattern-neighbor's
+        // image when one exists (connected extension), else every target
+        // vertex (new component).
+        let anchor = self
+            .pattern
+            .neighbors(u)
+            .iter()
+            .find(|&&w| self.map[w as usize] != UNMAPPED)
+            .map(|&w| self.map[w as usize]);
+
+        match anchor {
+            Some(img) => {
+                // `target` is a shared 'g reference, so the neighbor slice
+                // does not borrow `self` and the mutable recursion is fine.
+                let target = self.target;
+                for &v in target.neighbors(img) {
+                    if self.try_extend(u, v, depth) {
+                        return true;
+                    }
+                }
+            }
+            None => {
+                for v in 0..self.target.vertex_count() as VertexId {
+                    if self.try_extend(u, v, depth) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    fn try_extend(&mut self, u: VertexId, v: VertexId, depth: usize) -> bool {
+        self.nodes += 1;
+        if !self.feasible(u, v) {
+            return false;
+        }
+        self.assign(u, v);
+        if self.search(depth + 1) {
+            return true;
+        }
+        self.unassign(u, v);
+        false
+    }
+
+    fn feasible(&self, u: VertexId, v: VertexId) -> bool {
+        if self.used[v as usize] || self.pattern.label(u) != self.target.label(v) {
+            return false;
+        }
+        if self.opts.degree_check && self.target.degree(v) < self.pattern.degree(u) {
+            return false;
+        }
+        // consistency: mapped pattern-neighbors of u must be target-adjacent to v
+        for &w in self.pattern.neighbors(u) {
+            let img = self.map[w as usize];
+            if img != UNMAPPED && !self.target.has_edge(v, img) {
+                return false;
+            }
+        }
+        // lookahead cardinalities
+        let mut un_pat = 0u32; // unmapped neighbors of u
+        let mut term_pat = 0u32; // ... of which adjacent to mapped region
+        for &w in self.pattern.neighbors(u) {
+            if self.map[w as usize] == UNMAPPED {
+                un_pat += 1;
+                if self.t_pat[w as usize] > 0 {
+                    term_pat += 1;
+                }
+            }
+        }
+        let mut un_tgt = 0u32;
+        let mut term_tgt = 0u32;
+        for &z in self.target.neighbors(v) {
+            if !self.used[z as usize] {
+                un_tgt += 1;
+                if self.t_tgt[z as usize] > 0 {
+                    term_tgt += 1;
+                }
+            }
+        }
+        if un_pat > un_tgt || term_pat > term_tgt {
+            return false;
+        }
+        if self.opts.neighbor_label_check && !self.neighbor_labels_dominated(u, v) {
+            return false;
+        }
+        true
+    }
+
+    /// VF2+ refinement: each label needed by `u`'s unmapped neighbors must
+    /// be available among `v`'s unused neighbors at least as many times.
+    fn neighbor_labels_dominated(&self, u: VertexId, v: VertexId) -> bool {
+        // Pattern neighborhoods are tiny (queries have ≤ ~21 vertices), so
+        // a sort-free O(k²) multiset check beats hashing here.
+        let mut need: Vec<(u16, i32)> = Vec::new();
+        for &w in self.pattern.neighbors(u) {
+            if self.map[w as usize] == UNMAPPED {
+                let l = self.pattern.label(w);
+                match need.iter_mut().find(|(nl, _)| *nl == l) {
+                    Some((_, c)) => *c += 1,
+                    None => need.push((l, 1)),
+                }
+            }
+        }
+        if need.is_empty() {
+            return true;
+        }
+        for &z in self.target.neighbors(v) {
+            if !self.used[z as usize] {
+                let l = self.target.label(z);
+                if let Some((_, c)) = need.iter_mut().find(|(nl, _)| *nl == l) {
+                    *c -= 1;
+                }
+            }
+        }
+        need.iter().all(|&(_, c)| c <= 0)
+    }
+
+    fn assign(&mut self, u: VertexId, v: VertexId) {
+        self.map[u as usize] = v;
+        self.used[v as usize] = true;
+        let (pattern, target) = (self.pattern, self.target);
+        for &w in pattern.neighbors(u) {
+            self.t_pat[w as usize] += 1;
+        }
+        for &z in target.neighbors(v) {
+            self.t_tgt[z as usize] += 1;
+        }
+    }
+
+    fn unassign(&mut self, u: VertexId, v: VertexId) {
+        self.map[u as usize] = UNMAPPED;
+        self.used[v as usize] = false;
+        let (pattern, target) = (self.pattern, self.target);
+        for &w in pattern.neighbors(u) {
+            self.t_pat[w as usize] -= 1;
+        }
+        for &z in target.neighbors(v) {
+            self.t_tgt[z as usize] -= 1;
+        }
+    }
+}
+
+/// Vanilla VF2 order: repeatedly take the smallest-id vertex adjacent to
+/// the ordered prefix; fall back to the smallest-id remaining vertex when a
+/// new component starts.
+fn connectivity_order(pattern: &LabeledGraph) -> Vec<VertexId> {
+    let n = pattern.vertex_count();
+    let mut order = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    let mut adjacent = vec![false; n];
+    for _ in 0..n {
+        let next = (0..n)
+            .filter(|&i| !placed[i] && adjacent[i])
+            .chain((0..n).filter(|&i| !placed[i]))
+            .next()
+            .expect("some vertex remains");
+        placed[next] = true;
+        order.push(next as VertexId);
+        for &w in pattern.neighbors(next as VertexId) {
+            adjacent[w as usize] = true;
+        }
+    }
+    order
+}
+
+/// VF2+ order: start from the vertex with the rarest label in the target
+/// (ties: highest degree); extend with the connected vertex maximizing
+/// (mapped-neighbor count, label rarity, degree).
+fn rare_label_order(pattern: &LabeledGraph, target: &LabeledGraph) -> Vec<VertexId> {
+    let n = pattern.vertex_count();
+    // target label frequencies
+    let mut freq: std::collections::HashMap<u16, u32> = std::collections::HashMap::new();
+    for &l in target.labels() {
+        *freq.entry(l).or_insert(0) += 1;
+    }
+    let rarity = |v: VertexId| freq.get(&pattern.label(v)).copied().unwrap_or(0);
+
+    let mut order = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    let mut mapped_neighbors = vec![0u32; n];
+    for _ in 0..n {
+        let best = (0..n as VertexId)
+            .filter(|&i| !placed[i as usize])
+            .min_by_key(|&i| {
+                // order key: most-connected first, then rarest label, then
+                // highest degree, then id for determinism
+                (
+                    u32::MAX - mapped_neighbors[i as usize],
+                    rarity(i),
+                    usize::MAX - pattern.degree(i),
+                    i,
+                )
+            })
+            .expect("some vertex remains");
+        placed[best as usize] = true;
+        order.push(best);
+        for &w in pattern.neighbors(best) {
+            mapped_neighbors[w as usize] += 1;
+        }
+    }
+    order
+}
+
+/// Vanilla VF2.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Vf2;
+
+impl Vf2 {
+    const OPTS: EngineOptions = EngineOptions {
+        degree_check: false,
+        neighbor_label_check: false,
+        rare_label_order: false,
+    };
+}
+
+impl SubgraphMatcher for Vf2 {
+    fn name(&self) -> &'static str {
+        "VF2"
+    }
+
+    fn contains_with_stats(
+        &self,
+        pattern: &LabeledGraph,
+        target: &LabeledGraph,
+    ) -> (bool, MatchStats) {
+        let (embedding, stats) = Vf2Engine::new(pattern, target, Self::OPTS).run();
+        (embedding.is_some(), stats)
+    }
+
+    fn find_embedding(
+        &self,
+        pattern: &LabeledGraph,
+        target: &LabeledGraph,
+    ) -> Option<Vec<VertexId>> {
+        Vf2Engine::new(pattern, target, Self::OPTS).run().0
+    }
+}
+
+/// Verifies that `embedding` is a label-preserving injective homomorphism
+/// `pattern → target`. Test/diagnostic helper used across the workspace.
+pub fn verify_embedding(
+    pattern: &LabeledGraph,
+    target: &LabeledGraph,
+    embedding: &[VertexId],
+) -> bool {
+    if embedding.len() != pattern.vertex_count() {
+        return false;
+    }
+    // injective, in-range, label-preserving
+    let mut seen = vec![false; target.vertex_count()];
+    for (u, &v) in embedding.iter().enumerate() {
+        if (v as usize) >= target.vertex_count() || seen[v as usize] {
+            return false;
+        }
+        seen[v as usize] = true;
+        if pattern.label(u as VertexId) != target.label(v) {
+            return false;
+        }
+    }
+    // edge preservation
+    pattern
+        .edges()
+        .all(|(a, b)| target.has_edge(embedding[a as usize], embedding[b as usize]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::LabeledGraph;
+
+    fn g(labels: Vec<u16>, edges: &[(u32, u32)]) -> LabeledGraph {
+        LabeledGraph::from_parts(labels, edges).unwrap()
+    }
+
+    fn triangle() -> LabeledGraph {
+        g(vec![0, 0, 0], &[(0, 1), (1, 2), (0, 2)])
+    }
+
+    fn path3() -> LabeledGraph {
+        g(vec![0, 0, 0], &[(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn non_induced_path_in_triangle() {
+        // P3 ⊆ K3 holds for *non-induced* containment.
+        assert!(Vf2.contains(&path3(), &triangle()));
+        // K3 ⊄ P3
+        assert!(!Vf2.contains(&triangle(), &path3()));
+    }
+
+    #[test]
+    fn empty_pattern_contained_everywhere() {
+        let empty = LabeledGraph::new();
+        assert!(Vf2.contains(&empty, &triangle()));
+        assert!(Vf2.contains(&empty, &empty));
+        assert_eq!(Vf2.find_embedding(&empty, &triangle()), Some(vec![]));
+    }
+
+    #[test]
+    fn label_preservation() {
+        let p = g(vec![1, 2], &[(0, 1)]);
+        let t_match = g(vec![2, 1, 3], &[(0, 1), (1, 2)]);
+        let t_mismatch = g(vec![3, 3, 3], &[(0, 1), (1, 2)]);
+        assert!(Vf2.contains(&p, &t_match));
+        assert!(!Vf2.contains(&p, &t_mismatch));
+    }
+
+    #[test]
+    fn self_containment() {
+        let t = triangle();
+        assert!(Vf2.contains(&t, &t));
+        let e = Vf2.find_embedding(&t, &t).unwrap();
+        assert!(verify_embedding(&t, &t, &e));
+    }
+
+    #[test]
+    fn disconnected_pattern() {
+        // two isolated labeled vertices inside a labeled path
+        let p = g(vec![1, 3], &[]);
+        let t = g(vec![1, 2, 3], &[(0, 1), (1, 2)]);
+        assert!(Vf2.contains(&p, &t));
+        let p_missing = g(vec![1, 4], &[]);
+        assert!(!Vf2.contains(&p_missing, &t));
+    }
+
+    #[test]
+    fn injectivity_enforced() {
+        // pattern needs two distinct label-0 vertices; target has one
+        let p = g(vec![0, 0], &[]);
+        let t = g(vec![0, 1], &[(0, 1)]);
+        assert!(!Vf2.contains(&p, &t));
+    }
+
+    #[test]
+    fn square_not_in_triangle_with_tail() {
+        // C4 requires a 4-cycle; triangle+pendant has none
+        let c4 = g(vec![0; 4], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let tri_tail = g(vec![0; 4], &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        assert!(!Vf2.contains(&c4, &tri_tail));
+        // but P4 is in it
+        let p4 = g(vec![0; 4], &[(0, 1), (1, 2), (2, 3)]);
+        assert!(Vf2.contains(&p4, &tri_tail));
+    }
+
+    #[test]
+    fn embedding_is_valid() {
+        let p = g(vec![0, 1, 0], &[(0, 1), (1, 2)]);
+        let t = g(
+            vec![1, 0, 0, 1],
+            &[(0, 1), (0, 2), (1, 3), (2, 3)],
+        );
+        let e = Vf2.find_embedding(&p, &t).expect("embedding exists");
+        assert!(verify_embedding(&p, &t, &e));
+    }
+
+    #[test]
+    fn verify_embedding_rejects_bad_maps() {
+        let p = path3();
+        let t = triangle();
+        assert!(!verify_embedding(&p, &t, &[0, 0, 1])); // not injective
+        assert!(!verify_embedding(&p, &t, &[0, 1])); // wrong arity
+        assert!(!verify_embedding(&p, &t, &[0, 1, 9])); // out of range
+        let t2 = g(vec![0, 0, 1], &[(0, 1), (1, 2)]);
+        assert!(!verify_embedding(&path3(), &t2, &[0, 1, 2])); // label clash
+        let t3 = g(vec![0, 0, 0], &[(0, 1)]);
+        assert!(!verify_embedding(&path3(), &t3, &[0, 1, 2])); // missing edge
+    }
+
+    #[test]
+    fn stats_count_nodes() {
+        let (found, stats) = Vf2.contains_with_stats(&path3(), &triangle());
+        assert!(found);
+        assert!(stats.nodes >= 3, "at least one node per pattern vertex");
+    }
+
+    #[test]
+    fn connectivity_order_covers_components() {
+        let p = g(vec![0, 0, 0, 0], &[(2, 3)]);
+        let order = connectivity_order(&p);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Adversarial and structure-heavy cases for the SI algorithms — shapes
+//! known to stress specific parts of sub-iso search: automorphism-rich
+//! targets (cycles, cliques, bipartite), label-uniform graphs (no label
+//! pruning), near-miss patterns (one edge short of impossible), and the
+//! non-induced semantics corner cases.
+
+use gc_graph::LabeledGraph;
+use gc_subiso::bruteforce::BruteForce;
+use gc_subiso::{Algorithm, SubgraphMatcher};
+
+fn g(labels: Vec<u16>, edges: &[(u32, u32)]) -> LabeledGraph {
+    LabeledGraph::from_parts(labels, edges).unwrap()
+}
+
+fn cycle(n: u32, label: u16) -> LabeledGraph {
+    let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    g(vec![label; n as usize], &edges)
+}
+
+fn clique(n: u32, label: u16) -> LabeledGraph {
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            edges.push((i, j));
+        }
+    }
+    g(vec![label; n as usize], &edges)
+}
+
+fn path(n: u32, label: u16) -> LabeledGraph {
+    let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    g(vec![label; n as usize], &edges)
+}
+
+fn star(leaves: u32, label: u16) -> LabeledGraph {
+    let edges: Vec<(u32, u32)> = (1..=leaves).map(|i| (0, i)).collect();
+    g(vec![label; (leaves + 1) as usize], &edges)
+}
+
+fn complete_bipartite(a: u32, b: u32, label: u16) -> LabeledGraph {
+    let mut edges = Vec::new();
+    for i in 0..a {
+        for j in 0..b {
+            edges.push((i, a + j));
+        }
+    }
+    g(vec![label; (a + b) as usize], &edges)
+}
+
+/// Checks all four matchers agree on the expected verdict.
+fn check(pattern: &LabeledGraph, target: &LabeledGraph, expected: bool, what: &str) {
+    assert_eq!(
+        BruteForce.contains(pattern, target),
+        expected,
+        "oracle disagrees on: {what}"
+    );
+    for algo in Algorithm::ALL {
+        assert_eq!(
+            algo.matcher().contains(pattern, target),
+            expected,
+            "{algo} wrong on: {what}"
+        );
+    }
+}
+
+#[test]
+fn cycles_in_cycles() {
+    // Cn ⊆ Cm iff n == m (for unlabeled simple cycles, non-induced:
+    // a shorter cycle cannot wrap around a longer one)
+    check(&cycle(4, 0), &cycle(4, 0), true, "C4 in C4");
+    check(&cycle(3, 0), &cycle(4, 0), false, "C3 in C4");
+    check(&cycle(4, 0), &cycle(5, 0), false, "C4 in C5");
+    check(&cycle(5, 0), &cycle(4, 0), false, "C5 in C4");
+    // but paths of matching length embed in any big-enough cycle
+    check(&path(4, 0), &cycle(4, 0), true, "P4 in C4");
+    check(&path(5, 0), &cycle(4, 0), false, "P5 needs 5 vertices");
+}
+
+#[test]
+fn cycles_in_cliques_non_induced() {
+    // non-induced: every Cn ⊆ Kn and ⊆ Km for m ≥ n
+    check(&cycle(3, 0), &clique(3, 0), true, "C3 in K3");
+    check(&cycle(4, 0), &clique(4, 0), true, "C4 in K4");
+    check(&cycle(4, 0), &clique(5, 0), true, "C4 in K5");
+    check(&cycle(5, 0), &clique(4, 0), false, "C5 in K4 (too few vertices)");
+}
+
+#[test]
+fn cliques_in_bipartite() {
+    // K3 contains a triangle; bipartite graphs are triangle-free
+    check(&clique(3, 0), &complete_bipartite(3, 3, 0), false, "K3 in K3,3");
+    // C4 embeds in K3,3 (even cycle)
+    check(&cycle(4, 0), &complete_bipartite(3, 3, 0), true, "C4 in K3,3");
+    // C6 too
+    check(&cycle(6, 0), &complete_bipartite(3, 3, 0), true, "C6 in K3,3");
+    // odd cycle C5 does not (bipartite = no odd cycles)
+    check(&cycle(5, 0), &complete_bipartite(3, 3, 0), false, "C5 in K3,3");
+}
+
+#[test]
+fn stars_and_degree_bounds() {
+    check(&star(3, 0), &star(5, 0), true, "K1,3 in K1,5");
+    check(&star(5, 0), &star(3, 0), false, "K1,5 in K1,3");
+    // star needs a hub of matching degree somewhere
+    check(&star(3, 0), &path(6, 0), false, "K1,3 in P6 (max degree 2)");
+    check(&star(3, 0), &clique(4, 0), true, "K1,3 in K4");
+}
+
+#[test]
+fn near_miss_one_edge_short() {
+    // target = K4 minus one edge; K4 must not embed, C4 must
+    let mut k4_minus = clique(4, 0);
+    k4_minus.remove_edge(0, 1).unwrap();
+    check(&clique(4, 0), &k4_minus, false, "K4 in K4-e");
+    check(&cycle(4, 0), &k4_minus, true, "C4 in K4-e");
+    check(&cycle(3, 0), &k4_minus, true, "C3 in K4-e");
+}
+
+#[test]
+fn label_rigidity_breaks_symmetry() {
+    // a labeled path 0-1-2 embeds in a labeled cycle only if the label
+    // sequence appears
+    let p = g(vec![0, 1, 2], &[(0, 1), (1, 2)]);
+    let t_yes = g(vec![0, 1, 2, 3], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+    let t_no = g(vec![0, 2, 1, 3], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+    check(&p, &t_yes, true, "labeled path in matching cycle");
+    check(&p, &t_no, false, "labeled path in mismatched cycle");
+}
+
+#[test]
+fn uniform_labels_maximum_search() {
+    // label-uniform medium graphs: label pruning is useless, so this
+    // exercises the structural search paths
+    let target = complete_bipartite(4, 4, 7);
+    check(&cycle(8, 7), &target, true, "C8 in K4,4");
+    check(&cycle(7, 7), &target, false, "C7 in K4,4");
+    check(&complete_bipartite(2, 3, 7), &target, true, "K2,3 in K4,4");
+    check(&clique(3, 7), &target, false, "K3 in K4,4");
+}
+
+#[test]
+fn disconnected_patterns_pack_injectively() {
+    // two disjoint edges need 4 distinct vertices
+    let two_edges = g(vec![0, 0, 0, 0], &[(0, 1), (2, 3)]);
+    check(&two_edges, &path(4, 0), true, "2xP2 in P4");
+    check(&two_edges, &path(3, 0), false, "2xP2 in P3 (3 vertices)");
+    check(&two_edges, &cycle(4, 0), true, "2xP2 in C4");
+    // isolated vertices count against injectivity too
+    let dots = g(vec![0; 5], &[]);
+    check(&dots, &cycle(4, 0), false, "5 dots in 4 vertices");
+    check(&dots, &cycle(5, 0), true, "5 dots in 5 vertices");
+}
+
+#[test]
+fn self_containment_of_every_shape() {
+    for target in [
+        cycle(6, 1),
+        clique(5, 2),
+        star(6, 3),
+        path(7, 4),
+        complete_bipartite(3, 4, 5),
+    ] {
+        check(&target, &target, true, "self containment");
+    }
+}
+
+#[test]
+fn petersen_like_stress() {
+    // the Petersen graph: 3-regular, girth 5 — C5 embeds, C3/C4 do not
+    let outer: Vec<(u32, u32)> = (0..5).map(|i| (i, (i + 1) % 5)).collect();
+    let inner: Vec<(u32, u32)> = (0..5).map(|i| (5 + i, 5 + (i + 2) % 5)).collect();
+    let spokes: Vec<(u32, u32)> = (0..5).map(|i| (i, 5 + i)).collect();
+    let mut edges = outer;
+    edges.extend(inner);
+    edges.extend(spokes);
+    let petersen = g(vec![0; 10], &edges);
+    assert_eq!(petersen.edge_count(), 15);
+
+    check(&cycle(3, 0), &petersen, false, "C3 in Petersen (girth 5)");
+    check(&cycle(4, 0), &petersen, false, "C4 in Petersen (girth 5)");
+    check(&cycle(5, 0), &petersen, true, "C5 in Petersen");
+    check(&cycle(6, 0), &petersen, true, "C6 in Petersen");
+    check(&star(3, 0), &petersen, true, "K1,3 in 3-regular graph");
+    check(&star(4, 0), &petersen, false, "K1,4 needs degree 4");
+    check(&petersen, &petersen, true, "Petersen in itself");
+}
+
+#[test]
+fn vf2plus_prunes_at_least_as_hard_on_symmetric_negatives() {
+    // label-uniform symmetric negative case: VF2+'s extra degree and
+    // neighborhood checks can only remove candidates relative to VF2.
+    // (GQL is *not* compared here — its strength is label filtering,
+    // which has no grip on a label-uniform graph; see the labeled test.)
+    let pattern = cycle(7, 0);
+    let target = complete_bipartite(4, 4, 0);
+    let (found_vf2, s_vf2) = Algorithm::Vf2.matcher().contains_with_stats(&pattern, &target);
+    let (found_plus, s_plus) = Algorithm::Vf2Plus
+        .matcher()
+        .contains_with_stats(&pattern, &target);
+    assert!(!found_vf2 && !found_plus);
+    assert!(s_vf2.nodes > 0 && s_plus.nodes > 0);
+    assert!(
+        s_plus.nodes <= s_vf2.nodes,
+        "VF2+ expanded {} nodes vs VF2 {}",
+        s_plus.nodes,
+        s_vf2.nodes
+    );
+}
+
+#[test]
+fn gql_filtering_wins_on_label_rich_negatives() {
+    // a label-rich near-miss: GQL's profile filter + refinement should
+    // collapse the candidate sets and beat vanilla VF2's node count
+    let pattern = g(
+        vec![0, 1, 2, 3, 4],
+        &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)], // labeled C5
+    );
+    // target: a large labeled grid-ish graph with the right labels but no
+    // such cycle (labels laid out along a path)
+    let n = 40u32;
+    let labels: Vec<u16> = (0..n).map(|i| (i % 5) as u16).collect();
+    let mut edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    edges.extend((0..n - 7).map(|i| (i, i + 7))); // chords that never close a labeled C5
+    let target = g(labels, &edges);
+
+    let (found_vf2, s_vf2) = Algorithm::Vf2.matcher().contains_with_stats(&pattern, &target);
+    let (found_gql, s_gql) = Algorithm::GraphQl
+        .matcher()
+        .contains_with_stats(&pattern, &target);
+    assert_eq!(found_vf2, found_gql);
+    assert!(
+        s_gql.nodes <= s_vf2.nodes,
+        "GQL expanded {} nodes vs VF2 {} on a label-rich case",
+        s_gql.nodes,
+        s_vf2.nodes
+    );
+}

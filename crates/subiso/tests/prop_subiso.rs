@@ -1,0 +1,122 @@
+//! Cross-validation of the three production SI algorithms against the
+//! brute-force oracle, plus structural properties of embeddings. These are
+//! the tests that certify the `Mverifier` implementations behind every
+//! experiment table.
+
+use gc_graph::generate::{bfs_extract, random_connected_graph, random_walk_extract};
+use gc_graph::LabeledGraph;
+use gc_subiso::bruteforce::BruteForce;
+use gc_subiso::vf2::verify_embedding;
+use gc_subiso::{Algorithm, SubgraphMatcher};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a (pattern, target) pair from a seed. Half the cases extract the
+/// pattern from the target (guaranteed positive), half generate it
+/// independently (usually negative, occasionally positive).
+fn make_case(seed: u64) -> (LabeledGraph, LabeledGraph) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tn = rng.random_range(3..11usize);
+    let extra = rng.random_range(0..tn);
+    let labels = rng.random_range(1..4u16);
+    let target = random_connected_graph(&mut rng, tn, extra, |r| r.random_range(0..labels));
+    let pattern = if seed.is_multiple_of(2) {
+        let start = rng.random_range(0..tn as u32);
+        let want = rng.random_range(1..=target.edge_count().min(5));
+        bfs_extract(&mut rng, &target, start, want)
+            .or_else(|| random_walk_extract(&mut rng, &target, start, want))
+            .unwrap_or_else(|| {
+                random_connected_graph(&mut rng, 3, 0, |r| r.random_range(0..labels))
+            })
+    } else {
+        let pn = rng.random_range(1..7usize);
+        let pextra = rng.random_range(0..2usize);
+        random_connected_graph(&mut rng, pn, pextra, |r| r.random_range(0..labels))
+    };
+    (pattern, target)
+}
+
+proptest! {
+    /// All three algorithms agree with the brute-force oracle.
+    #[test]
+    fn algorithms_agree_with_oracle(seed in 0u64..2000) {
+        let (pattern, target) = make_case(seed);
+        let expected = BruteForce.contains(&pattern, &target);
+        for algo in Algorithm::ALL {
+            let got = algo.matcher().contains(&pattern, &target);
+            prop_assert_eq!(
+                got, expected,
+                "{} disagrees with oracle on seed {}:\nP={:?}\nT={:?}",
+                algo, seed, &pattern, &target
+            );
+        }
+    }
+
+    /// Whenever an algorithm reports containment, the embedding it returns
+    /// is a genuine label-preserving injective homomorphism.
+    #[test]
+    fn embeddings_are_valid(seed in 0u64..800) {
+        let (pattern, target) = make_case(seed);
+        for algo in Algorithm::ALL {
+            if let Some(e) = algo.matcher().find_embedding(&pattern, &target) {
+                prop_assert!(
+                    verify_embedding(&pattern, &target, &e),
+                    "{} returned an invalid embedding on seed {}", algo, seed
+                );
+            }
+        }
+    }
+
+    /// Extracted subgraphs are always found — the soundness direction that
+    /// Type A/B workload generation depends on (every extracted query must
+    /// have its source graph in the answer set).
+    #[test]
+    fn extraction_implies_containment(seed in 0u64..800) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tn = rng.random_range(4..16usize);
+        let extra = rng.random_range(0..tn);
+        let target = random_connected_graph(&mut rng, tn, extra, |r| r.random_range(0..3u16));
+        let start = rng.random_range(0..tn as u32);
+        let want = rng.random_range(1..=target.edge_count().min(8));
+        let pattern = if seed % 2 == 0 {
+            bfs_extract(&mut rng, &target, start, want)
+        } else {
+            random_walk_extract(&mut rng, &target, start, want)
+        };
+        if let Some(p) = pattern {
+            for algo in Algorithm::ALL {
+                prop_assert!(
+                    algo.matcher().contains(&p, &target),
+                    "{} missed an extracted subgraph (seed {})", algo, seed
+                );
+            }
+        }
+    }
+
+    /// Containment is reflexive and respects edge monotonicity: removing an
+    /// edge from the pattern preserves containment.
+    #[test]
+    fn edge_removal_monotonicity(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(7));
+        let n = rng.random_range(3..9usize);
+        let extra = rng.random_range(0..n);
+        let g = random_connected_graph(&mut rng, n, extra, |r| r.random_range(0..3u16));
+        for algo in Algorithm::ALL {
+            prop_assert!(algo.matcher().contains(&g, &g), "{} not reflexive", algo);
+        }
+        // drop one random edge from a copy — still contained in original
+        let edges: Vec<_> = g.edges().collect();
+        if !edges.is_empty() {
+            let (u, v) = edges[rng.random_range(0..edges.len())];
+            let mut smaller = g.clone();
+            smaller.remove_edge(u, v).unwrap();
+            for algo in Algorithm::ALL {
+                prop_assert!(
+                    algo.matcher().contains(&smaller, &g),
+                    "{} violated edge monotonicity", algo
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Query workload generators for the GC+ evaluation (paper §7.1).
+//!
+//! Two workload families, both producing 10,000-query streams (configurable
+//! here) with the literature-typical sizes of 4, 8, 12, 16 and 20 edges:
+//!
+//! * **Type A** ([`typea`]) — queries extracted by BFS from dataset graphs;
+//!   the source graph and the start node are each drawn from either a
+//!   Uniform or a Zipf(α = 1.4) distribution, yielding the paper's three
+//!   categories **UU**, **ZU** and **ZZ** (first letter = graph selection,
+//!   second = node selection);
+//! * **Type B** ([`typeb`]) — per-size pools of random-walk queries: a
+//!   positive pool (non-empty answers against the initial dataset) and a
+//!   *no-answer* pool (queries relabeled until they keep a non-empty
+//!   candidate set but have an empty answer set). Workload items flip a
+//!   biased coin (no-answer probability 0%, 20% or 50%) and Zipf-select
+//!   from the chosen pool — the paper's **0%/20%/50%** categories.
+//!
+//! Zipf skew everywhere defaults to the paper's α = 1.4.
+
+pub mod typea;
+pub mod typeb;
+
+pub use typea::{generate_type_a, Dist, TypeAConfig};
+pub use typeb::{generate_type_b, TypeBConfig};
+
+use gc_graph::LabeledGraph;
+use gc_subiso::QueryKind;
+
+/// The paper's query sizes (edge counts).
+pub const PAPER_QUERY_SIZES: [usize; 5] = [4, 8, 12, 16, 20];
+
+/// The paper's default Zipf skew.
+pub const PAPER_ZIPF_ALPHA: f64 = 1.4;
+
+/// A generated query stream.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Workload label as it appears in the paper's figures (e.g. "ZU",
+    /// "20%").
+    pub name: String,
+    /// The queries, in arrival order.
+    pub queries: Vec<LabeledGraph>,
+    /// Whether the stream consists of subgraph or supergraph queries.
+    pub kind: QueryKind,
+}
+
+impl Workload {
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// `true` iff the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Number of *distinct* queries up to isomorphism (canonical-form
+    /// dedup). Zipf-selected streams repeat heavily; this quantifies the
+    /// repetition the cache's exact-match optimal case can exploit.
+    pub fn distinct_queries(&self) -> usize {
+        let mut keys: Vec<gc_graph::CanonicalForm> = self
+            .queries
+            .iter()
+            .map(gc_graph::canonical_form)
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_dedup_counts_isomorphism_classes() {
+        let g1 = LabeledGraph::from_parts(vec![0, 1], &[(0, 1)]).unwrap();
+        let g2 = LabeledGraph::from_parts(vec![0, 1], &[(0, 1)]).unwrap();
+        // same edge with vertices written in the opposite order: an
+        // isomorphic restatement, counted once
+        let g3 = LabeledGraph::from_parts(vec![1, 0], &[(0, 1)]).unwrap();
+        // genuinely different labels
+        let g4 = LabeledGraph::from_parts(vec![2, 2], &[(0, 1)]).unwrap();
+        let w = Workload {
+            name: "test".into(),
+            queries: vec![g1, g2, g3, g4],
+            kind: QueryKind::Subgraph,
+        };
+        assert_eq!(w.len(), 4);
+        assert!(!w.is_empty());
+        assert_eq!(w.distinct_queries(), 2);
+    }
+}
