@@ -18,12 +18,15 @@ fn records(n: usize, span: usize, seed: u64) -> Vec<ChangeRecord> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
-            let op = OpType::ALL[rng.random_range(0..4)];
+            let op = OpType::ALL[rng.random_range(0..4usize)];
             let graph_id = rng.random_range(0..span);
             match op {
-                OpType::Ua | OpType::Ur => {
-                    ChangeRecord::edge(graph_id, op, rng.random_range(0..40), rng.random_range(40..80))
-                }
+                OpType::Ua | OpType::Ur => ChangeRecord::edge(
+                    graph_id,
+                    op,
+                    rng.random_range(0..40),
+                    rng.random_range(40..80),
+                ),
                 _ => ChangeRecord::structural(graph_id, op),
             }
         })
@@ -37,8 +40,7 @@ fn full_cache(span: usize, seed: u64) -> Vec<CachedQuery> {
     (0..120)
         .map(|_| {
             let graph = LabeledGraph::from_parts(vec![0, 1], &[(0, 1)]).expect("valid");
-            let answer =
-                BitSet::from_indices((0..span).filter(|_| rng.random::<f64>() < 0.2));
+            let answer = BitSet::from_indices((0..span).filter(|_| rng.random::<f64>() < 0.2));
             CachedQuery::new(graph, QueryKind::Subgraph, answer, span, 0)
         })
         .collect()

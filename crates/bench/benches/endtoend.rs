@@ -83,7 +83,13 @@ fn bench_policies(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("policy_ablation_con");
     group.sample_size(10);
-    for policy in [Policy::Hybrid, Policy::Pin, Policy::Pinc, Policy::Lru, Policy::Lfu] {
+    for policy in [
+        Policy::Hybrid,
+        Policy::Pin,
+        Policy::Pinc,
+        Policy::Lru,
+        Policy::Lfu,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(policy.name()),
             &policy,

@@ -12,23 +12,27 @@
 //!   dataset      print synthetic-AIDS statistics vs the published moments
 //!   ablation     extensions: EVI vs CON vs CON-R (§8 retrospective
 //!                validation) and full-scan vs updatable-FTV-filter CS_M
-//!   all          everything above
+//!   bench-subiso candidate-scan microbench: legacy (pre-CSR) vs CSR vs
+//!                CSR+prefilter vs CSR+prefilter+parallel; writes
+//!                BENCH_subiso.json (use --quick for a CI smoke run,
+//!                --out PATH to redirect the artifact)
+//!   all          everything above (except bench-subiso)
 //! ```
 
 use std::time::Instant;
 
 use gc_bench::report::{f1, f2, pct, spx, Table};
 use gc_bench::{
-    build_all_workloads, build_dataset, build_plan, build_type_a_workloads,
-    build_type_b_workloads, run_fig4, run_fig5, run_fig6, run_insights, Scale,
+    build_all_workloads, build_dataset, build_plan, build_type_a_workloads, build_type_b_workloads,
+    run_fig4, run_fig5, run_fig6, run_insights, Scale,
 };
 use gc_graph::stats::DatasetStats;
 use gc_subiso::Algorithm;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <fig4-typea|fig4-typeb|fig5|fig6|insights|dataset|all> \
-         [--scale small|medium|paper]"
+        "usage: experiments <fig4-typea|fig4-typeb|fig5|fig6|insights|dataset|ablation|bench-subiso|all> \
+         [--scale small|medium|paper] [--quick] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -39,7 +43,24 @@ fn main() {
         usage();
     }
     let command = args[0].clone();
+    const COMMANDS: [&str; 9] = [
+        "fig4-typea",
+        "fig4-typeb",
+        "fig5",
+        "fig6",
+        "insights",
+        "dataset",
+        "ablation",
+        "bench-subiso",
+        "all",
+    ];
+    if !COMMANDS.contains(&command.as_str()) {
+        eprintln!("unknown command '{command}'");
+        usage();
+    }
     let mut scale = Scale::medium();
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_subiso.json");
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -51,12 +72,22 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).unwrap_or_else(|| usage()).clone();
+            }
             other => {
                 eprintln!("unknown argument '{other}'");
                 usage();
             }
         }
         i += 1;
+    }
+
+    if command == "bench-subiso" {
+        bench_subiso(quick, &out_path);
+        return;
     }
 
     let t0 = Instant::now();
@@ -94,13 +125,62 @@ fn main() {
     println!("\ntotal wall time: {:.1}s", t0.elapsed().as_secs_f64());
 }
 
+fn bench_subiso(quick: bool, out_path: &str) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "# Method M candidate-scan microbench ({} mode, {} worker thread(s))\n",
+        if quick { "quick" } else { "full" },
+        threads
+    );
+    let result = gc_bench::run_subiso_bench(quick, threads);
+    let mut t = Table::new(
+        "Candidate-scan microbench: legacy (pre-CSR) vs CSR hot path",
+        &[
+            "configuration",
+            "total s",
+            "tests",
+            "prefilter skips",
+            "speedup vs legacy",
+        ],
+    );
+    let legacy_secs = result.measurements[0].total_secs;
+    for m in &result.measurements {
+        t.row(vec![
+            m.config.to_string(),
+            format!("{:.4}", m.total_secs),
+            m.tests.to_string(),
+            m.prefilter_skips.to_string(),
+            spx(legacy_secs / m.total_secs.max(1e-12)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "headline: serial {:.2}x, best {:.2}x over the pre-CSR serial scan",
+        result.speedup_serial, result.speedup_best
+    );
+    if let Err(e) = std::fs::write(out_path, result.to_json()) {
+        eprintln!("cannot write bench artifact '{out_path}': {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}
+
 fn dataset_stats(dataset: &[gc_graph::LabeledGraph]) {
     let stats = DatasetStats::compute(dataset);
-    println!("### Synthetic AIDS dataset (paper: ⌀45 vertices σ22 max 245; ⌀47 edges σ23 max 250)\n");
+    println!(
+        "### Synthetic AIDS dataset (paper: ⌀45 vertices σ22 max 245; ⌀47 edges σ23 max 250)\n"
+    );
     println!("{stats}\n");
 }
 
-fn fig4(dataset: &[gc_graph::LabeledGraph], scale: &Scale, plan: &gc_dataset::ChangePlan, type_a: bool) {
+fn fig4(
+    dataset: &[gc_graph::LabeledGraph],
+    scale: &Scale,
+    plan: &gc_dataset::ChangePlan,
+    type_a: bool,
+) {
     let workloads = if type_a {
         build_type_a_workloads(dataset, scale)
     } else {
@@ -110,7 +190,13 @@ fn fig4(dataset: &[gc_graph::LabeledGraph], scale: &Scale, plan: &gc_dataset::Ch
     let rows = run_fig4(dataset, &workloads, plan, &Algorithm::ALL);
     let mut t = Table::new(
         &format!("Figure 4 ({label}): GC+ speedup in query time"),
-        &["method", "workload", "base avg ms", "EVI speedup", "CON speedup"],
+        &[
+            "method",
+            "workload",
+            "base avg ms",
+            "EVI speedup",
+            "CON speedup",
+        ],
     );
     for r in &rows {
         t.row(vec![
@@ -176,13 +262,23 @@ fn ablation(dataset: &[gc_graph::LabeledGraph], scale: &Scale, plan: &gc_dataset
     let w = &workloads[0]; // ZZ
 
     for (title, oscillating) in [
-        ("Ablation: cache models under the paper's change plan (ZZ workload)", false),
-        ("Ablation: cache models under oscillating churn (UR+UA of the same edge)", true),
+        (
+            "Ablation: cache models under the paper's change plan (ZZ workload)",
+            false,
+        ),
+        (
+            "Ablation: cache models under oscillating churn (UR+UA of the same edge)",
+            true,
+        ),
     ] {
         let rows = gc_bench::run_model_ablation(dataset, w, plan, oscillating);
         let mut t = Table::new(title, &["model", "avg tests/query", "avg query ms"]);
         for r in &rows {
-            t.row(vec![r.model.to_string(), f1(r.avg_tests), f2(r.avg_query_ms)]);
+            t.row(vec![
+                r.model.to_string(),
+                f1(r.avg_tests),
+                f2(r.avg_query_ms),
+            ]);
         }
         println!("{}", t.render());
     }
@@ -193,7 +289,11 @@ fn ablation(dataset: &[gc_graph::LabeledGraph], scale: &Scale, plan: &gc_dataset
         &["configuration", "avg tests/query", "avg query ms"],
     );
     for r in &rows {
-        t.row(vec![r.config.to_string(), f1(r.avg_tests), f2(r.avg_query_ms)]);
+        t.row(vec![
+            r.config.to_string(),
+            f1(r.avg_tests),
+            f2(r.avg_query_ms),
+        ]);
     }
     println!("{}", t.render());
 }

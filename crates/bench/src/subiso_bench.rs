@@ -1,0 +1,463 @@
+//! The Method M candidate-scan micro-benchmark.
+//!
+//! Measures the end-to-end cost of scanning an AIDS-like candidate set with
+//! one query — the inner loop behind every figure of the paper — across
+//! four configurations:
+//!
+//! 1. **legacy** — the pre-CSR hot path, reconstructed faithfully in
+//!    [`legacy`]: `Vec<Vec<VertexId>>` pointer-chasing adjacency, VF2
+//!    without any pre-filter, sequential scan. This is the baseline the
+//!    CSR overhaul is judged against;
+//! 2. **csr-serial** — today's CSR [`gc_graph::LabeledGraph`] with the
+//!    signature pre-filter disabled (isolates the layout win);
+//! 3. **csr-prefilter** — CSR plus the O(1) signature pre-filter
+//!    (isolates the filter-then-verify win, reports `prefilter_skips`);
+//! 4. **csr-parallel** — CSR + pre-filter + the scoped-thread parallel
+//!    scan (adds whatever the host's core count offers; on a single-core
+//!    host it degrades gracefully to ≈ csr-prefilter).
+//!
+//! All four configurations are checked to produce identical answer sets
+//! before any timing is trusted. Results serialize to `BENCH_subiso.json`
+//! so successive PRs accumulate a perf trajectory.
+
+use std::time::Instant;
+
+use gc_dataset::aids::{synthetic_aids, AidsConfig};
+use gc_graph::{BitSet, LabeledGraph};
+use gc_subiso::{Algorithm, MethodM, QueryKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The pre-CSR graph representation and scan, kept as a measurement
+/// baseline. This is a faithful port of the seed's hot path: per-vertex
+/// heap-allocated sorted adjacency vectors, binary-search `has_edge`,
+/// vanilla-VF2 connectivity-ordered backtracking, no pre-filtering.
+pub mod legacy {
+    /// Pre-CSR adjacency-list graph.
+    pub struct LegacyGraph {
+        labels: Vec<u16>,
+        adj: Vec<Vec<u32>>,
+        edge_count: usize,
+    }
+
+    impl LegacyGraph {
+        /// Converts from the CSR representation.
+        pub fn from_csr(g: &gc_graph::LabeledGraph) -> Self {
+            let mut adj: Vec<Vec<u32>> = vec![Vec::new(); g.vertex_count()];
+            for (u, v) in g.edges() {
+                adj[u as usize].push(v);
+                adj[v as usize].push(u);
+            }
+            for row in &mut adj {
+                row.sort_unstable();
+            }
+            LegacyGraph {
+                labels: g.labels().to_vec(),
+                adj,
+                edge_count: g.edge_count(),
+            }
+        }
+
+        fn vertex_count(&self) -> usize {
+            self.labels.len()
+        }
+
+        fn neighbors(&self, v: u32) -> &[u32] {
+            &self.adj[v as usize]
+        }
+
+        fn has_edge(&self, u: u32, v: u32) -> bool {
+            self.adj[u as usize].binary_search(&v).is_ok()
+        }
+    }
+
+    const UNMAPPED: u32 = u32::MAX;
+
+    struct Vf2<'g> {
+        pattern: &'g LegacyGraph,
+        target: &'g LegacyGraph,
+        order: Vec<u32>,
+        map: Vec<u32>,
+        used: Vec<bool>,
+        t_pat: Vec<u32>,
+        t_tgt: Vec<u32>,
+    }
+
+    /// Vanilla-VF2 decision `pattern ⊆ target` on the legacy layout.
+    pub fn contains(pattern: &LegacyGraph, target: &LegacyGraph) -> bool {
+        if pattern.vertex_count() > target.vertex_count() || pattern.edge_count > target.edge_count
+        {
+            return false;
+        }
+        let order = connectivity_order(pattern);
+        let mut s = Vf2 {
+            pattern,
+            target,
+            order,
+            map: vec![UNMAPPED; pattern.vertex_count()],
+            used: vec![false; target.vertex_count()],
+            t_pat: vec![0; pattern.vertex_count()],
+            t_tgt: vec![0; target.vertex_count()],
+        };
+        s.search(0)
+    }
+
+    fn connectivity_order(pattern: &LegacyGraph) -> Vec<u32> {
+        let n = pattern.vertex_count();
+        let mut order = Vec::with_capacity(n);
+        let mut placed = vec![false; n];
+        let mut adjacent = vec![false; n];
+        for _ in 0..n {
+            let next = (0..n)
+                .filter(|&i| !placed[i] && adjacent[i])
+                .chain((0..n).filter(|&i| !placed[i]))
+                .next()
+                .expect("some vertex remains");
+            placed[next] = true;
+            order.push(next as u32);
+            for &w in pattern.neighbors(next as u32) {
+                adjacent[w as usize] = true;
+            }
+        }
+        order
+    }
+
+    impl Vf2<'_> {
+        fn search(&mut self, depth: usize) -> bool {
+            if depth == self.order.len() {
+                return true;
+            }
+            let u = self.order[depth];
+            let anchor = self
+                .pattern
+                .neighbors(u)
+                .iter()
+                .find(|&&w| self.map[w as usize] != UNMAPPED)
+                .map(|&w| self.map[w as usize]);
+            match anchor {
+                Some(img) => {
+                    let target = self.target;
+                    for &v in target.neighbors(img) {
+                        if self.try_extend(u, v, depth) {
+                            return true;
+                        }
+                    }
+                }
+                None => {
+                    for v in 0..self.target.vertex_count() as u32 {
+                        if self.try_extend(u, v, depth) {
+                            return true;
+                        }
+                    }
+                }
+            }
+            false
+        }
+
+        fn try_extend(&mut self, u: u32, v: u32, depth: usize) -> bool {
+            if !self.feasible(u, v) {
+                return false;
+            }
+            self.assign(u, v);
+            if self.search(depth + 1) {
+                return true;
+            }
+            self.unassign(u, v);
+            false
+        }
+
+        fn feasible(&self, u: u32, v: u32) -> bool {
+            if self.used[v as usize]
+                || self.pattern.labels[u as usize] != self.target.labels[v as usize]
+            {
+                return false;
+            }
+            for &w in self.pattern.neighbors(u) {
+                let img = self.map[w as usize];
+                if img != UNMAPPED && !self.target.has_edge(v, img) {
+                    return false;
+                }
+            }
+            let mut un_pat = 0u32;
+            let mut term_pat = 0u32;
+            for &w in self.pattern.neighbors(u) {
+                if self.map[w as usize] == UNMAPPED {
+                    un_pat += 1;
+                    if self.t_pat[w as usize] > 0 {
+                        term_pat += 1;
+                    }
+                }
+            }
+            let mut un_tgt = 0u32;
+            let mut term_tgt = 0u32;
+            for &z in self.target.neighbors(v) {
+                if !self.used[z as usize] {
+                    un_tgt += 1;
+                    if self.t_tgt[z as usize] > 0 {
+                        term_tgt += 1;
+                    }
+                }
+            }
+            un_pat <= un_tgt && term_pat <= term_tgt
+        }
+
+        fn assign(&mut self, u: u32, v: u32) {
+            self.map[u as usize] = v;
+            self.used[v as usize] = true;
+            let (pattern, target) = (self.pattern, self.target);
+            for &w in pattern.neighbors(u) {
+                self.t_pat[w as usize] += 1;
+            }
+            for &z in target.neighbors(v) {
+                self.t_tgt[z as usize] += 1;
+            }
+        }
+
+        fn unassign(&mut self, u: u32, v: u32) {
+            self.map[u as usize] = UNMAPPED;
+            self.used[v as usize] = false;
+            let (pattern, target) = (self.pattern, self.target);
+            for &w in pattern.neighbors(u) {
+                self.t_pat[w as usize] -= 1;
+            }
+            for &z in target.neighbors(v) {
+                self.t_tgt[z as usize] -= 1;
+            }
+        }
+    }
+}
+
+/// One configuration's aggregate measurement.
+#[derive(Debug, Clone)]
+pub struct ScanMeasurement {
+    /// Configuration name.
+    pub config: &'static str,
+    /// Total scan wall time across all queries, seconds.
+    pub total_secs: f64,
+    /// Total matching (query, graph) pairs found (correctness witness).
+    pub answers: u64,
+    /// Sub-iso tests counted (candidates examined).
+    pub tests: u64,
+    /// Candidates decided by the signature pre-filter.
+    pub prefilter_skips: u64,
+}
+
+/// The full micro-benchmark result.
+#[derive(Debug, Clone)]
+pub struct SubisoBenchResult {
+    /// Dataset size used.
+    pub dataset_graphs: usize,
+    /// Number of queries scanned.
+    pub queries: usize,
+    /// Worker threads used by the parallel configuration.
+    pub threads: usize,
+    /// Per-configuration measurements, in the order documented above.
+    pub measurements: Vec<ScanMeasurement>,
+    /// `legacy / csr-prefilter` wall-time ratio.
+    pub speedup_serial: f64,
+    /// `legacy / csr-parallel` wall-time ratio (the headline number).
+    pub speedup_best: f64,
+}
+
+/// Builds the query pool: per paper size, a few BFS extractions from
+/// Zipf-rank-selected source graphs.
+fn build_queries(dataset: &[LabeledGraph], per_size: usize, seed: u64) -> Vec<LabeledGraph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = gc_graph::Zipf::new(dataset.len(), 1.4);
+    let mut queries = Vec::new();
+    for &size in &gc_workload::PAPER_QUERY_SIZES {
+        let mut produced = 0;
+        let mut attempts = 0;
+        while produced < per_size && attempts < per_size * 64 {
+            attempts += 1;
+            let src = &dataset[zipf.sample(&mut rng)];
+            if src.vertex_count() == 0 {
+                continue;
+            }
+            let start = rng.random_range(0..src.vertex_count() as u32);
+            if let Some(q) = gc_graph::generate::bfs_extract(&mut rng, src, start, size) {
+                queries.push(q);
+                produced += 1;
+            }
+        }
+    }
+    queries
+}
+
+/// Runs the candidate-scan micro-benchmark.
+///
+/// `quick` shrinks the dataset/query pool for CI smoke runs; `threads`
+/// configures the parallel variant (pass the host's core count).
+pub fn run_subiso_bench(quick: bool, threads: usize) -> SubisoBenchResult {
+    let (graphs, per_size) = if quick { (250, 2) } else { (1200, 4) };
+    let dataset = synthetic_aids(&AidsConfig::scaled(graphs, 0xBE7C));
+    let queries = build_queries(&dataset, per_size, 0x5CA7);
+    let cands = BitSet::from_indices(0..dataset.len());
+    let legacy_dataset: Vec<legacy::LegacyGraph> =
+        dataset.iter().map(legacy::LegacyGraph::from_csr).collect();
+
+    let mut measurements = Vec::new();
+
+    // 1. legacy: pre-CSR layout, no pre-filter, sequential VF2
+    {
+        let legacy_queries: Vec<legacy::LegacyGraph> =
+            queries.iter().map(legacy::LegacyGraph::from_csr).collect();
+        let t = Instant::now();
+        let mut answers = 0u64;
+        let mut tests = 0u64;
+        for q in &legacy_queries {
+            for g in &legacy_dataset {
+                tests += 1;
+                if legacy::contains(q, g) {
+                    answers += 1;
+                }
+            }
+        }
+        measurements.push(ScanMeasurement {
+            config: "legacy (Vec<Vec> adjacency, serial, no prefilter)",
+            total_secs: t.elapsed().as_secs_f64(),
+            answers,
+            tests,
+            prefilter_skips: 0,
+        });
+    }
+
+    // 2..4: the CSR configurations share one runner
+    let mut run_csr = |config: &'static str, method: MethodM| {
+        let t = Instant::now();
+        let mut answers = 0u64;
+        let mut tests = 0u64;
+        let mut skips = 0u64;
+        for q in &queries {
+            let r = method.run(q, QueryKind::Subgraph, &dataset, &cands);
+            answers += r.answer.count_ones() as u64;
+            tests += r.tests;
+            skips += r.prefilter_skips;
+        }
+        measurements.push(ScanMeasurement {
+            config,
+            total_secs: t.elapsed().as_secs_f64(),
+            answers,
+            tests,
+            prefilter_skips: skips,
+        });
+    };
+    run_csr(
+        "csr-serial (flat CSR, serial, no prefilter)",
+        MethodM::new(Algorithm::Vf2).with_prefilter(false),
+    );
+    run_csr(
+        "csr-prefilter (flat CSR, serial, signature prefilter)",
+        MethodM::new(Algorithm::Vf2),
+    );
+    run_csr(
+        "csr-parallel (flat CSR, parallel scan, signature prefilter)",
+        MethodM::parallel(Algorithm::Vf2, threads),
+    );
+
+    // correctness: every configuration found the same number of matches
+    // over the same number of candidates
+    let baseline = measurements[0].answers;
+    for m in &measurements {
+        assert_eq!(
+            m.answers, baseline,
+            "configuration '{}' diverged from the legacy scan",
+            m.config
+        );
+        assert_eq!(m.tests, measurements[0].tests);
+    }
+
+    let legacy_secs = measurements[0].total_secs;
+    SubisoBenchResult {
+        dataset_graphs: graphs,
+        queries: queries.len(),
+        threads,
+        speedup_serial: legacy_secs / measurements[2].total_secs.max(1e-12),
+        speedup_best: legacy_secs
+            / measurements[2..]
+                .iter()
+                .map(|m| m.total_secs)
+                .fold(f64::INFINITY, f64::min)
+                .max(1e-12),
+        measurements,
+    }
+}
+
+impl SubisoBenchResult {
+    /// Hand-rolled JSON serialization (no serde offline); stable key order
+    /// so diffs between PRs stay readable.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"dataset_graphs\": {},\n", self.dataset_graphs));
+        out.push_str(&format!("  \"queries\": {},\n", self.queries));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!(
+            "  \"speedup_serial_vs_legacy\": {:.3},\n",
+            self.speedup_serial
+        ));
+        out.push_str(&format!(
+            "  \"speedup_best_vs_legacy\": {:.3},\n",
+            self.speedup_best
+        ));
+        out.push_str("  \"measurements\": [\n");
+        for (i, m) in self.measurements.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"config\": \"{}\", \"total_secs\": {:.6}, \"answers\": {}, \"tests\": {}, \"prefilter_skips\": {}}}{}\n",
+                m.config,
+                m.total_secs,
+                m.answers,
+                m.tests,
+                m.prefilter_skips,
+                if i + 1 == self.measurements.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_scan_agrees_with_csr_method_m() {
+        let dataset = synthetic_aids(&AidsConfig::scaled(40, 9));
+        let legacy_dataset: Vec<legacy::LegacyGraph> =
+            dataset.iter().map(legacy::LegacyGraph::from_csr).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let cands = BitSet::from_indices(0..dataset.len());
+        let m = MethodM::new(Algorithm::Vf2);
+        for i in 0..6 {
+            let q = gc_graph::generate::bfs_extract(&mut rng, &dataset[i], 0, 4 + i)
+                .expect("extractable");
+            let lq = legacy::LegacyGraph::from_csr(&q);
+            let modern = m.run(&q, QueryKind::Subgraph, &dataset, &cands);
+            let legacy_hits: Vec<usize> = legacy_dataset
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| legacy::contains(&lq, g))
+                .map(|(id, _)| id)
+                .collect();
+            assert_eq!(
+                modern.answer.iter_ones().collect::<Vec<_>>(),
+                legacy_hits,
+                "query {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn quick_bench_runs_and_prefilter_fires() {
+        let r = run_subiso_bench(true, 2);
+        assert_eq!(r.measurements.len(), 4);
+        assert!(
+            r.measurements[2].prefilter_skips > 0,
+            "signature pre-filter must reject candidates on the AIDS workload"
+        );
+        let json = r.to_json();
+        assert!(json.contains("\"speedup_serial_vs_legacy\""));
+        assert!(json.contains("csr-parallel"));
+    }
+}

@@ -8,12 +8,11 @@
 //! and dataset changes against one cache. Method-M-internal parallelism is
 //! available orthogonally via [`gc_subiso::MethodM::parallel`].
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use gc_dataset::{ChangeOp, DatasetError, GraphId};
 use gc_graph::LabeledGraph;
 use gc_subiso::QueryKind;
-use parking_lot::Mutex;
 
 use crate::config::GcConfig;
 use crate::metrics::AggregateMetrics;
@@ -35,22 +34,29 @@ impl ConcurrentGraphCache {
 
     /// Executes a query (serialized against other callers).
     pub fn execute(&self, query: &LabeledGraph, kind: QueryKind) -> QueryOutcome {
-        self.inner.lock().execute(query, kind)
+        self.lock().execute(query, kind)
     }
 
     /// Applies a dataset change.
     pub fn apply(&self, op: ChangeOp) -> Result<GraphId, DatasetError> {
-        self.inner.lock().apply(op)
+        self.lock().apply(op)
     }
 
     /// Snapshot of the aggregate metrics.
     pub fn aggregate_metrics(&self) -> AggregateMetrics {
-        self.inner.lock().aggregate_metrics().clone()
+        self.lock().aggregate_metrics().clone()
     }
 
     /// Cache/window occupancy snapshot.
     pub fn occupancy(&self) -> (usize, usize) {
-        self.inner.lock().occupancy()
+        self.lock().occupancy()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, GraphCachePlus> {
+        // a poisoned lock means a panicking query died mid-pipeline; the
+        // cache state is still structurally sound (no partial bit writes
+        // survive a panic boundary), so recover rather than cascade
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -102,11 +108,17 @@ mod tests {
         let dataset = vec![g(vec![0, 0], &[(0, 1)])];
         let shared = ConcurrentGraphCache::new(GcConfig::default(), dataset);
         let q = g(vec![0, 0], &[(0, 1)]);
-        assert_eq!(shared.execute(&q, QueryKind::Subgraph).answer.count_ones(), 1);
+        assert_eq!(
+            shared.execute(&q, QueryKind::Subgraph).answer.count_ones(),
+            1
+        );
         shared
             .apply(ChangeOp::Add(g(vec![0, 0, 0], &[(0, 1), (1, 2)])))
             .unwrap();
-        assert_eq!(shared.execute(&q, QueryKind::Subgraph).answer.count_ones(), 2);
+        assert_eq!(
+            shared.execute(&q, QueryKind::Subgraph).answer.count_ones(),
+            2
+        );
         assert_eq!(shared.occupancy().0 + shared.occupancy().1, 1);
     }
 }

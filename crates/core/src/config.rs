@@ -99,6 +99,11 @@ pub struct GcConfig {
     /// the paper's "GC+ over an FTV method" deployment. Off by default
     /// (the paper's SI-method setting).
     pub use_ftv_filter: bool,
+    /// Worker threads for probing cached queries during hit discovery
+    /// (`1` = sequential). The probe results are merged in entry order, so
+    /// hit lists and metrics are identical at any setting; worth raising
+    /// only when the cache+window population carries large query graphs.
+    pub probe_parallelism: usize,
 }
 
 impl Default for GcConfig {
@@ -111,6 +116,7 @@ impl Default for GcConfig {
             method: MethodM::new(Algorithm::Vf2),
             internal_matcher: Algorithm::Vf2Plus,
             use_ftv_filter: false,
+            probe_parallelism: 1,
         }
     }
 }
@@ -137,6 +143,8 @@ mod tests {
         assert_eq!(c.window_capacity, 20);
         assert_eq!(c.model, CacheModel::Con);
         assert_eq!(c.policy, Policy::Hybrid);
+        assert_eq!(c.probe_parallelism, 1);
+        assert!(c.method.prefilter, "Method M pre-filter defaults on");
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! (the paper presents the subgraph side and omits the supergraph dual
 //! "for space reason"; both are implemented here — see [`crate::validator`]).
 
-use gc_graph::{BitSet, Label, LabeledGraph};
+use gc_graph::{BitSet, LabeledGraph};
 use gc_subiso::QueryKind;
 
 /// Per-entry replacement statistics maintained by the Statistics Manager.
@@ -49,8 +49,6 @@ pub struct CachedQuery {
     pub cg_valid: BitSet,
     /// Replacement statistics.
     pub stats: EntryStats,
-    /// Cached `(|V|, |E|, label histogram)` for pre-SI quick filters.
-    signature: (usize, usize, Vec<(Label, u32)>),
 }
 
 impl CachedQuery {
@@ -67,7 +65,6 @@ impl CachedQuery {
         id_span: usize,
         now: u64,
     ) -> Self {
-        let signature = graph.size_signature();
         CachedQuery {
             graph,
             kind,
@@ -78,33 +75,25 @@ impl CachedQuery {
                 last_used: now,
                 ..EntryStats::default()
             },
-            signature,
         }
     }
 
-    /// Quick necessary test for `query ⊆ self.graph`.
+    /// Quick necessary test for `query ⊆ self.graph`, evaluated on the
+    /// graphs' cached CSR signatures (counts, max degree, label multisets).
     pub fn may_contain_query(&self, query: &LabeledGraph) -> bool {
-        let (n, m, _) = self.signature;
-        query.vertex_count() <= n
-            && query.edge_count() <= m
-            && query.labels_dominated_by(&self.graph)
+        gc_subiso::filter::signature_may_contain(query.signature(), self.graph.signature())
     }
 
     /// Quick necessary test for `self.graph ⊆ query`.
     pub fn may_be_contained_in_query(&self, query: &LabeledGraph) -> bool {
-        let (n, m, _) = self.signature;
-        n <= query.vertex_count()
-            && m <= query.edge_count()
-            && self.graph.labels_dominated_by(query)
+        gc_subiso::filter::signature_may_contain(self.graph.signature(), query.signature())
     }
 
-    /// `true` iff sizes and label histograms coincide — the cheap
-    /// precondition of the §6.3 exact-match check.
+    /// `true` iff sizes, max degrees and label histograms coincide — the
+    /// cheap precondition of the §6.3 exact-match check (isomorphic graphs
+    /// always share a full signature).
     pub fn same_signature(&self, query: &LabeledGraph) -> bool {
-        let (n, m, ref hist) = self.signature;
-        n == query.vertex_count()
-            && m == query.edge_count()
-            && *hist == query.label_histogram()
+        self.graph.signature() == query.signature()
     }
 
     /// `true` iff this entry holds validity on every graph of the live
@@ -154,7 +143,10 @@ mod tests {
         assert_eq!(e.cg_valid.count_ones(), 5);
         let live = BitSet::from_indices([0usize, 1, 2, 3, 4]);
         assert!(e.fully_valid_on(&live));
-        assert_eq!(e.valid_answers().iter_ones().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(
+            e.valid_answers().iter_ones().collect::<Vec<_>>(),
+            vec![1, 3]
+        );
     }
 
     #[test]

@@ -42,6 +42,9 @@ pub struct QueryMetrics {
     pub validation_time: Duration,
     /// Sub-iso tests Method M executed for this query.
     pub subiso_tests: u64,
+    /// Of `subiso_tests`, candidates decided negatively by Method M's O(1)
+    /// signature pre-filter without running the matcher.
+    pub prefilter_skips: u64,
     /// Tests avoided thanks to the cache (`|CS_M| - tests executed`).
     pub tests_saved: u64,
     /// `|CS_M|` before pruning.
@@ -63,6 +66,8 @@ pub struct AggregateMetrics {
     pub total_validation_time: Duration,
     /// Sum of executed sub-iso tests.
     pub total_tests: u64,
+    /// Sum of pre-filter-decided candidates across queries.
+    pub total_prefilter_skips: u64,
     /// Sum of avoided sub-iso tests.
     pub total_tests_saved: u64,
     /// Queries that executed zero sub-iso tests.
@@ -87,6 +92,7 @@ impl AggregateMetrics {
         self.total_overhead_time += m.overhead_time;
         self.total_validation_time += m.validation_time;
         self.total_tests += m.subiso_tests;
+        self.total_prefilter_skips += m.prefilter_skips;
         self.total_tests_saved += m.tests_saved;
         if m.subiso_tests == 0 {
             self.zero_test_queries += 1;
@@ -159,6 +165,7 @@ mod tests {
             overhead_time: Duration::from_millis(o_ms),
             validation_time: Duration::from_micros(o_ms * 5),
             subiso_tests: tests,
+            prefilter_skips: tests / 2,
             tests_saved: 10 - tests.min(10),
             candidate_size: 10,
             hits: HitBreakdown {
@@ -178,6 +185,7 @@ mod tests {
         agg.record(&metrics(0, 10, 2));
         assert_eq!(agg.queries, 2);
         assert_eq!(agg.total_tests, 10);
+        assert_eq!(agg.total_prefilter_skips, 5);
         assert_eq!(agg.zero_test_queries, 1);
         assert_eq!(agg.exact_match_queries, 1);
         assert_eq!(agg.exact_shortcuts, 1);

@@ -38,10 +38,7 @@ pub fn resolve(policy: Policy, entries: &[CachedQuery]) -> ResolvedPolicy {
         Policy::Pin => ResolvedPolicy::Pin,
         Policy::Pinc => ResolvedPolicy::Pinc,
         Policy::Hybrid => {
-            let r: Vec<f64> = entries
-                .iter()
-                .map(|e| e.stats.tests_saved as f64)
-                .collect();
+            let r: Vec<f64> = entries.iter().map(|e| e.stats.tests_saved as f64).collect();
             if squared_cov(&r) > 1.0 {
                 ResolvedPolicy::Pin
             } else {
@@ -65,11 +62,7 @@ pub fn score(resolved: ResolvedPolicy, entry: &CachedQuery) -> f64 {
 /// returns the indices of the entries to **evict**, lowest score first
 /// (ties: older insertion evicted first, then lower index, keeping the
 /// result deterministic).
-pub fn select_evictions(
-    policy: Policy,
-    entries: &[CachedQuery],
-    capacity: usize,
-) -> Vec<usize> {
+pub fn select_evictions(policy: Policy, entries: &[CachedQuery], capacity: usize) -> Vec<usize> {
     if entries.len() <= capacity {
         return Vec::new();
     }
@@ -82,7 +75,12 @@ pub fn select_evictions(
     ranked.sort_by(|a, b| {
         a.1.partial_cmp(&b.1)
             .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| entries[a.0].stats.inserted_at.cmp(&entries[b.0].stats.inserted_at))
+            .then_with(|| {
+                entries[a.0]
+                    .stats
+                    .inserted_at
+                    .cmp(&entries[b.0].stats.inserted_at)
+            })
             .then_with(|| a.0.cmp(&b.0))
     });
     ranked
@@ -139,10 +137,10 @@ mod tests {
     #[test]
     fn eviction_keeps_top_scorers() {
         let entries = vec![
-            entry(5, 0.0, 0, 0),  // PIN score 5
-            entry(1, 0.0, 0, 0),  // 1 — evicted
-            entry(9, 0.0, 0, 0),  // 9
-            entry(2, 0.0, 0, 0),  // 2 — evicted
+            entry(5, 0.0, 0, 0), // PIN score 5
+            entry(1, 0.0, 0, 0), // 1 — evicted
+            entry(9, 0.0, 0, 0), // 9
+            entry(2, 0.0, 0, 0), // 2 — evicted
         ];
         let evict = select_evictions(Policy::Pin, &entries, 2);
         assert_eq!(evict, vec![1, 3]);

@@ -19,10 +19,17 @@
 //! a supergraph query's `{G : G ⊆ q}` — and vice versa.
 //!
 //! Probes are cheap: cached queries are small (the window+cache hold at
-//! most ~120 of them) and the size/label quick filters of
-//! [`CachedQuery`] eliminate most pairs before any SI search runs.
+//! most ~120 of them) and the signature quick filters of
+//! [`CachedQuery`] eliminate most pairs before any SI search runs. When
+//! they are *not* cheap — large cached query graphs, big windows — the
+//! probe loop fans out over scoped worker threads
+//! ([`discover_hits_with`] with `parallelism > 1`): every entry's probe is
+//! independent, per-entry outcomes are computed in parallel and folded in
+//! entry order, so the resulting [`Hits`] (lists, exact-match choice,
+//! probe count) are bit-identical to the sequential scan.
 
 use gc_graph::LabeledGraph;
+use gc_subiso::parallel::parallel_map_indexed;
 use gc_subiso::{QueryKind, SubgraphMatcher};
 
 use crate::cache::CacheManager;
@@ -40,7 +47,7 @@ pub enum EntryRef {
 }
 
 /// The outcome of hit discovery for one query.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct Hits {
     /// Entries contributing sub-iso-test-free answers.
     pub direct: Vec<EntryRef>,
@@ -53,75 +60,87 @@ pub struct Hits {
 }
 
 /// Resolves an [`EntryRef`] against the two stores.
-pub fn resolve<'a>(
-    r: EntryRef,
-    cache: &'a CacheManager,
-    window: &'a Window,
-) -> &'a CachedQuery {
+pub fn resolve<'a>(r: EntryRef, cache: &'a CacheManager, window: &'a Window) -> &'a CachedQuery {
     match r {
         EntryRef::Cache(i) => cache.iter().nth(i).expect("stale cache ref"),
         EntryRef::Window(i) => window.iter().nth(i).expect("stale window ref"),
     }
 }
 
-/// Probes one entry; pushes it onto the relevant hit lists.
+/// The outcome of probing one entry, independent of every other entry —
+/// the unit of work the parallel probe distributes.
+#[derive(Debug, Clone, Copy, Default)]
+struct ProbeOutcome {
+    query_in_entry: bool,
+    entry_in_query: bool,
+    same_sig: bool,
+    probes: u64,
+}
+
+/// Probes one entry (kind-matched) for both containment directions.
 fn probe_entry(
     query: &LabeledGraph,
     kind: QueryKind,
     entry: &CachedQuery,
-    r: EntryRef,
     matcher: &dyn SubgraphMatcher,
-    hits: &mut Hits,
-) {
+) -> ProbeOutcome {
     if entry.kind != kind {
-        return;
+        return ProbeOutcome::default();
     }
-    // Direction names follow the *subgraph*-query case; for supergraph
-    // queries the roles of the two containment directions swap.
-    let same_sig = entry.same_signature(query);
+    let mut out = ProbeOutcome {
+        same_sig: entry.same_signature(query),
+        ..ProbeOutcome::default()
+    };
 
     // query ⊆ entry ?
-    let query_in_entry = if entry.may_contain_query(query) {
-        hits.probes += 1;
+    out.query_in_entry = if entry.may_contain_query(query) {
+        out.probes += 1;
         matcher.contains(query, &entry.graph)
     } else {
         false
     };
     // entry ⊆ query ?  (an exact match needs only one SI probe: equal
     // signatures + one direction imply isomorphism)
-    let entry_in_query = if same_sig && query_in_entry {
+    out.entry_in_query = if out.same_sig && out.query_in_entry {
         true
     } else if entry.may_be_contained_in_query(query) {
-        hits.probes += 1;
+        out.probes += 1;
         matcher.contains(&entry.graph, query)
     } else {
         false
     };
+    out
+}
 
-    if query_in_entry && entry_in_query && same_sig && hits.exact.is_none() {
+/// Folds one probe outcome into the hit lists. Direction names follow the
+/// *subgraph*-query case; for supergraph queries the roles of the two
+/// containment directions swap.
+fn fold_outcome(hits: &mut Hits, kind: QueryKind, r: EntryRef, out: ProbeOutcome) {
+    hits.probes += out.probes;
+    if out.query_in_entry && out.entry_in_query && out.same_sig && hits.exact.is_none() {
         hits.exact = Some(r);
     }
     match kind {
         QueryKind::Subgraph => {
-            if query_in_entry {
+            if out.query_in_entry {
                 hits.direct.push(r);
             }
-            if entry_in_query {
+            if out.entry_in_query {
                 hits.exclusion.push(r);
             }
         }
         QueryKind::Supergraph => {
-            if entry_in_query {
+            if out.entry_in_query {
                 hits.direct.push(r);
             }
-            if query_in_entry {
+            if out.query_in_entry {
                 hits.exclusion.push(r);
             }
         }
     }
 }
 
-/// Runs GC+sub and GC+super discovery over cache and window.
+/// Runs GC+sub and GC+super discovery over cache and window, sequentially.
 pub fn discover_hits(
     query: &LabeledGraph,
     kind: QueryKind,
@@ -129,12 +148,55 @@ pub fn discover_hits(
     window: &Window,
     matcher: &dyn SubgraphMatcher,
 ) -> Hits {
+    discover_hits_with(query, kind, cache, window, matcher, 1)
+}
+
+/// Minimum entry population before the probe loop spawns worker threads;
+/// below this the per-query spawn cost dwarfs the probes themselves.
+const PARALLEL_PROBE_THRESHOLD: usize = 16;
+
+/// Runs hit discovery with an explicit probe-parallelism level. Entries are
+/// probed independently (in parallel when `parallelism > 1` and the
+/// population is large enough) and the outcomes folded in entry order —
+/// cache entries first, then window entries — so the returned [`Hits`] are
+/// identical at every parallelism level.
+pub fn discover_hits_with(
+    query: &LabeledGraph,
+    kind: QueryKind,
+    cache: &CacheManager,
+    window: &Window,
+    matcher: &dyn SubgraphMatcher,
+    parallelism: usize,
+) -> Hits {
+    let entry_iter = || {
+        cache
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EntryRef::Cache(i), e))
+            .chain(
+                window
+                    .iter()
+                    .enumerate()
+                    .map(|(i, e)| (EntryRef::Window(i), e)),
+            )
+    };
+
     let mut hits = Hits::default();
-    for (i, e) in cache.iter().enumerate() {
-        probe_entry(query, kind, e, EntryRef::Cache(i), matcher, &mut hits);
-    }
-    for (i, e) in window.iter().enumerate() {
-        probe_entry(query, kind, e, EntryRef::Window(i), matcher, &mut hits);
+    let population = cache.len() + window.len();
+    if parallelism > 1 && population >= PARALLEL_PROBE_THRESHOLD {
+        let entries: Vec<(EntryRef, &CachedQuery)> = entry_iter().collect();
+        let outcomes = parallel_map_indexed(entries.len(), parallelism, |i| {
+            probe_entry(query, kind, entries[i].1, matcher)
+        });
+        for ((r, _), out) in entries.iter().zip(outcomes) {
+            fold_outcome(&mut hits, kind, *r, out);
+        }
+    } else {
+        // the default sequential path stays allocation-free
+        for (r, e) in entry_iter() {
+            let out = probe_entry(query, kind, e, matcher);
+            fold_outcome(&mut hits, kind, r, out);
+        }
     }
     hits
 }
@@ -234,7 +296,9 @@ mod tests {
         let hits = discover_hits(&edge, QueryKind::Subgraph, &cache, &window, m);
         assert_eq!(hits.exact, Some(EntryRef::Window(0)));
         assert_eq!(
-            resolve(EntryRef::Window(0), &cache, &window).graph.edge_count(),
+            resolve(EntryRef::Window(0), &cache, &window)
+                .graph
+                .edge_count(),
             1
         );
     }
@@ -252,12 +316,46 @@ mod tests {
     }
 
     #[test]
+    fn parallel_probing_equals_sequential() {
+        use gc_graph::generate::{bfs_extract, random_connected_graph};
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(21);
+        // a mixed population well above the parallel threshold
+        let mut entries = Vec::new();
+        for i in 0..40 {
+            let n = rng.random_range(3..10usize);
+            let g = random_connected_graph(&mut rng, n, 2, |r| r.random_range(0..3u16));
+            let kind = if i % 3 == 0 {
+                QueryKind::Supergraph
+            } else {
+                QueryKind::Subgraph
+            };
+            entries.push(entry(g, kind));
+        }
+        let (cache, mut window) = setup(entries);
+        let probe_src = random_connected_graph(&mut rng, 12, 5, |r| r.random_range(0..3u16));
+        window.push(entry(probe_src.clone(), QueryKind::Subgraph));
+        let query = bfs_extract(&mut rng, &probe_src, 0, 4).expect("extractable");
+        let m = Algorithm::Vf2Plus.matcher();
+        for kind in [QueryKind::Subgraph, QueryKind::Supergraph] {
+            let seq = discover_hits_with(&query, kind, &cache, &window, m, 1);
+            for threads in [2usize, 4, 8] {
+                let par = discover_hits_with(&query, kind, &cache, &window, m, threads);
+                assert_eq!(seq, par, "{kind:?} with {threads} threads");
+            }
+        }
+    }
+
+    #[test]
     fn exact_match_costs_one_probe() {
         let edge = g(vec![0, 0], &[(0, 1)]);
         let (cache, window) = setup(vec![entry(edge.clone(), QueryKind::Subgraph)]);
         let m = Algorithm::Vf2Plus.matcher();
         let hits = discover_hits(&edge, QueryKind::Subgraph, &cache, &window, m);
         assert_eq!(hits.exact, Some(EntryRef::Cache(0)));
-        assert_eq!(hits.probes, 1, "signature equality short-circuits the reverse probe");
+        assert_eq!(
+            hits.probes, 1,
+            "signature equality short-circuits the reverse probe"
+        );
     }
 }

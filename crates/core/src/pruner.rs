@@ -209,7 +209,7 @@ mod tests {
     #[test]
     fn multiple_direct_hits_pool_answers() {
         let (cache, window) = setup(vec![
-            entry_with(&[0, 1], &[0], 4), // valid answer {0}
+            entry_with(&[0, 1], &[0], 4),    // valid answer {0}
             entry_with(&[1, 2], &[1, 2], 4), // valid answers {1,2}
         ]);
         let csm = BitSet::from_indices(0..4);
@@ -229,10 +229,7 @@ mod tests {
     #[test]
     fn exclusion_hits_intersect() {
         // hit A excludes {0} (valid negative), hit B excludes {1}
-        let (cache, window) = setup(vec![
-            entry_with(&[], &[0], 3),
-            entry_with(&[], &[1], 3),
-        ]);
+        let (cache, window) = setup(vec![entry_with(&[], &[0], 3), entry_with(&[], &[1], 3)]);
         let csm = BitSet::from_indices(0..3);
         let hits = Hits {
             exclusion: vec![EntryRef::Cache(0), EntryRef::Cache(1)],
@@ -255,7 +252,10 @@ mod tests {
         };
         let out = prune(&csm, &hits, &cache, &window, &csm);
         assert_eq!(out.shortcut, Some(Shortcut::ExactMatch(EntryRef::Cache(0))));
-        assert_eq!(out.direct_answers.iter_ones().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(
+            out.direct_answers.iter_ones().collect::<Vec<_>>(),
+            vec![0, 2]
+        );
         assert!(out.candidates.is_empty());
         assert_eq!(out.attribution, vec![(EntryRef::Cache(0), 3)]);
 
@@ -292,7 +292,10 @@ mod tests {
             ..Hits::default()
         };
         let out = prune(&csm, &hits, &cache, &window, &csm);
-        assert_eq!(out.shortcut, Some(Shortcut::EmptyResult(EntryRef::Cache(0))));
+        assert_eq!(
+            out.shortcut,
+            Some(Shortcut::EmptyResult(EntryRef::Cache(0)))
+        );
         assert!(out.direct_answers.is_empty());
         assert!(out.candidates.is_empty());
 
@@ -315,7 +318,10 @@ mod tests {
             ..Hits::default()
         };
         let out = prune(&live, &hits, &cache, &window, &live);
-        assert_eq!(out.shortcut, Some(Shortcut::EmptyResult(EntryRef::Cache(0))));
+        assert_eq!(
+            out.shortcut,
+            Some(Shortcut::EmptyResult(EntryRef::Cache(0)))
+        );
     }
 
     #[test]

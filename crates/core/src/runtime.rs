@@ -42,6 +42,7 @@ pub fn baseline_execute(
         metrics: QueryMetrics {
             query_time,
             subiso_tests: result.tests,
+            prefilter_skips: result.prefilter_skips,
             tests_saved: 0,
             candidate_size,
             ..QueryMetrics::default()
@@ -74,6 +75,7 @@ pub fn ftv_baseline_execute(
         metrics: QueryMetrics {
             query_time,
             subiso_tests: result.tests,
+            prefilter_skips: result.prefilter_skips,
             tests_saved: store.live_count() as u64 - result.tests.min(store.live_count() as u64),
             candidate_size,
             ..QueryMetrics::default()
@@ -88,8 +90,7 @@ mod tests {
 
     #[test]
     fn ftv_baseline_filters_before_verifying() {
-        let triangle =
-            LabeledGraph::from_parts(vec![0, 0, 0], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let triangle = LabeledGraph::from_parts(vec![0, 0, 0], &[(0, 1), (1, 2), (0, 2)]).unwrap();
         let alien = LabeledGraph::from_parts(vec![5, 5], &[(0, 1)]).unwrap();
         let edge = LabeledGraph::from_parts(vec![0, 0], &[(0, 1)]).unwrap();
         let store = GraphStore::from_graphs(vec![triangle, alien, edge.clone()]);
@@ -99,7 +100,10 @@ mod tests {
 
         let out = ftv_baseline_execute(&store, &log, &mut index, &m, &edge, QueryKind::Subgraph);
         assert_eq!(out.answer.iter_ones().collect::<Vec<_>>(), vec![0, 2]);
-        assert_eq!(out.metrics.subiso_tests, 2, "label filter skipped the alien graph");
+        assert_eq!(
+            out.metrics.subiso_tests, 2,
+            "label filter skipped the alien graph"
+        );
         assert_eq!(out.metrics.tests_saved, 1);
         // agreement with the unfiltered baseline
         let plain = baseline_execute(&store, &m, &edge, QueryKind::Subgraph);
@@ -108,8 +112,7 @@ mod tests {
 
     #[test]
     fn baseline_scans_whole_live_dataset() {
-        let triangle =
-            LabeledGraph::from_parts(vec![0, 0, 0], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let triangle = LabeledGraph::from_parts(vec![0, 0, 0], &[(0, 1), (1, 2), (0, 2)]).unwrap();
         let edge = LabeledGraph::from_parts(vec![0, 0], &[(0, 1)]).unwrap();
         let mut store = GraphStore::from_graphs(vec![triangle, edge.clone()]);
         store.delete(1).unwrap();

@@ -136,20 +136,17 @@ impl ShardedGraphCache {
     /// slowest shard's query time (the deployment's critical path).
     pub fn execute(&mut self, query: &LabeledGraph, kind: QueryKind) -> QueryOutcome {
         let outcomes: Vec<QueryOutcome> = if self.parallel_fanout && self.shards.len() > 1 {
-            let mut slots: Vec<Option<QueryOutcome>> = Vec::new();
-            crossbeam::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .shards
                     .iter_mut()
-                    .map(|s| scope.spawn(move |_| s.execute(query, kind)))
+                    .map(|s| scope.spawn(move || s.execute(query, kind)))
                     .collect();
-                slots = handles
+                handles
                     .into_iter()
-                    .map(|h| Some(h.join().expect("shard worker panicked")))
-                    .collect();
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
             })
-            .expect("crossbeam scope failed");
-            slots.into_iter().map(|o| o.expect("joined")).collect()
         } else {
             self.shards
                 .iter_mut()
@@ -262,10 +259,7 @@ mod tests {
             let expected = flat.execute(&q, QueryKind::Subgraph);
             assert_eq!(got.answer, expected.answer, "step {step}");
             // fan-out runs the union of all shard candidate sets
-            assert_eq!(
-                got.metrics.candidate_size,
-                expected.metrics.candidate_size
-            );
+            assert_eq!(got.metrics.candidate_size, expected.metrics.candidate_size);
         }
     }
 

@@ -70,8 +70,7 @@ mod tests {
     #[test]
     fn cost_monotone_in_sizes() {
         let small = LabeledGraph::from_parts(vec![0, 0], &[(0, 1)]).unwrap();
-        let big =
-            LabeledGraph::from_parts(vec![0; 5], &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let big = LabeledGraph::from_parts(vec![0; 5], &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
         assert!(estimated_test_cost(&small, &big) > estimated_test_cost(&small, &small));
         assert!(estimated_test_cost(&big, &big) > estimated_test_cost(&small, &big));
         assert_eq!(estimated_test_cost(&small, &small), 9.0);

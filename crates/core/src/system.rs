@@ -31,7 +31,7 @@ use crate::cache::CacheManager;
 use crate::config::{CacheModel, GcConfig};
 use crate::entry::CachedQuery;
 use crate::metrics::{AggregateMetrics, HitBreakdown, QueryMetrics};
-use crate::processor::{discover_hits, EntryRef};
+use crate::processor::{discover_hits_with, EntryRef};
 use crate::pruner::{prune, Shortcut};
 pub use crate::runtime::{baseline_execute, QueryOutcome};
 use crate::validator;
@@ -195,11 +195,18 @@ impl GraphCachePlus {
         };
         let candidate_size = csm.count_ones() as u64;
         let matcher = self.config.internal_matcher.matcher();
-        let hits = discover_hits(query, kind, &self.cache, &self.window, matcher);
+        let hits = discover_hits_with(
+            query,
+            kind,
+            &self.cache,
+            &self.window,
+            matcher,
+            self.config.probe_parallelism,
+        );
         let outcome = prune(&csm, &hits, &self.cache, &self.window, &csm);
 
-        let (answer, tests) = if outcome.candidates.is_empty() {
-            (outcome.direct_answers.clone(), 0)
+        let (answer, tests, prefilter_skips) = if outcome.candidates.is_empty() {
+            (outcome.direct_answers.clone(), 0, 0)
         } else {
             let m = self
                 .config
@@ -207,7 +214,7 @@ impl GraphCachePlus {
                 .run(query, kind, &self.store, &outcome.candidates);
             let mut answer = m.answer;
             answer.union_with(&outcome.direct_answers);
-            (answer, m.tests)
+            (answer, m.tests, m.prefilter_skips)
         };
         let query_time = t_query.elapsed();
 
@@ -238,8 +245,13 @@ impl GraphCachePlus {
             e.answer = answer.clone();
             e.cg_valid = gc_graph::BitSet::all_set(span);
         } else {
-            let entry =
-                CachedQuery::new(query.clone(), kind, answer.clone(), self.store.id_span(), now);
+            let entry = CachedQuery::new(
+                query.clone(),
+                kind,
+                answer.clone(),
+                self.store.id_span(),
+                now,
+            );
             if let Some(batch) = self.window.push(entry) {
                 self.cache.admit_batch(batch);
             }
@@ -251,6 +263,7 @@ impl GraphCachePlus {
             overhead_time: overhead,
             validation_time,
             subiso_tests: tests,
+            prefilter_skips,
             tests_saved: candidate_size.saturating_sub(tests),
             candidate_size,
             hits: HitBreakdown {
@@ -349,7 +362,8 @@ mod tests {
         let q = g(vec![0, 0], &[(0, 1)]);
         gc.execute(&q, QueryKind::Subgraph);
         // UA on graph 3 (labels 1-1): does not affect q's positive answers
-        gc.apply(ChangeOp::Add(g(vec![0, 0, 0], &[(0, 1)]))).unwrap();
+        gc.apply(ChangeOp::Add(g(vec![0, 0, 0], &[(0, 1)])))
+            .unwrap();
         let out = gc.execute(&q, QueryKind::Subgraph);
         assert_eq!(
             out.answer.iter_ones().collect::<Vec<_>>(),

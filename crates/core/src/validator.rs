@@ -49,13 +49,11 @@ pub fn refresh_entry(entry: &mut CachedQuery, counters: &OpCounters, id_span: us
         let answered = entry.answer.get(i);
         let keep = match entry.kind {
             QueryKind::Subgraph => {
-                (counters.ua_exclusive(i) && answered)
-                    || (counters.ur_exclusive(i) && !answered)
+                (counters.ua_exclusive(i) && answered) || (counters.ur_exclusive(i) && !answered)
             }
             // dual polarity for supergraph-semantics answers
             QueryKind::Supergraph => {
-                (counters.ur_exclusive(i) && answered)
-                    || (counters.ua_exclusive(i) && !answered)
+                (counters.ur_exclusive(i) && answered) || (counters.ua_exclusive(i) && !answered)
             }
         };
         if !keep {
@@ -124,7 +122,11 @@ mod tests {
     use gc_graph::{BitSet, LabeledGraph};
 
     fn rec(graph_id: usize, op: OpType) -> ChangeRecord {
-        ChangeRecord { graph_id, op, edge: None }
+        ChangeRecord {
+            graph_id,
+            op,
+            edge: None,
+        }
     }
 
     fn entry(kind: QueryKind, answer: &[usize], span: usize) -> CachedQuery {
@@ -292,8 +294,10 @@ mod tests {
 
     #[test]
     fn refresh_all_covers_every_entry() {
-        let mut entries = [entry(QueryKind::Subgraph, &[0], 2),
-            entry(QueryKind::Subgraph, &[], 2)];
+        let mut entries = [
+            entry(QueryKind::Subgraph, &[0], 2),
+            entry(QueryKind::Subgraph, &[], 2),
+        ];
         let c = LogAnalyzer::analyze(&[rec(0, OpType::Del)]);
         refresh_all(entries.iter_mut(), &c, 2);
         assert!(!entries[0].cg_valid.get(0));

@@ -72,7 +72,12 @@ fn graph_stripped_to_no_edges() {
     assert!(out.answer.is_empty(), "edgeless graph contains no edge");
     // a single labeled vertex still matches
     let dot_q = g(vec![0], &[]);
-    check_exact(&mut gc, &dot_q, QueryKind::Subgraph, "dot query on edgeless graph");
+    check_exact(
+        &mut gc,
+        &dot_q,
+        QueryKind::Subgraph,
+        "dot query on edgeless graph",
+    );
 
     // rebuild the edges — positive answers must come back
     gc.apply(ChangeOp::Ua { id: 0, u: 0, v: 1 }).unwrap();
@@ -118,10 +123,7 @@ fn degenerate_capacities() {
 fn bulk_mutation_bypassing_apply_is_still_seen() {
     // with_dataset gives raw access; as long as the caller logs, the
     // validators and the FTV index must pick the changes up lazily
-    let initial = vec![
-        g(vec![0, 0], &[(0, 1)]),
-        g(vec![1, 1], &[(0, 1)]),
-    ];
+    let initial = vec![g(vec![0, 0], &[(0, 1)]), g(vec![1, 1], &[(0, 1)])];
     let mut gc = GraphCachePlus::new(
         GcConfig {
             use_ftv_filter: true,
@@ -134,9 +136,8 @@ fn bulk_mutation_bypassing_apply_is_still_seen() {
 
     // bulk-add a matching graph through the raw interface
     gc.with_dataset(|store, log| {
-        let id = store.add_graph(
-            LabeledGraph::from_parts(vec![2, 2, 2], &[(0, 1), (1, 2)]).unwrap(),
-        );
+        let id =
+            store.add_graph(LabeledGraph::from_parts(vec![2, 2, 2], &[(0, 1), (1, 2)]).unwrap());
         log.append(id, gc_dataset::OpType::Add);
     });
     let out = gc.execute(&q, QueryKind::Subgraph);
@@ -197,7 +198,12 @@ fn rapid_alternation_of_queries_and_inverse_changes() {
             } else {
                 gc.apply(ChangeOp::Ua { id: 0, u: 0, v: 1 }).unwrap();
             }
-            check_exact(&mut gc, &q, QueryKind::Subgraph, &format!("{model} round {round}"));
+            check_exact(
+                &mut gc,
+                &q,
+                QueryKind::Subgraph,
+                &format!("{model} round {round}"),
+            );
         }
     }
 }

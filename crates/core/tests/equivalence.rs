@@ -49,7 +49,7 @@ fn random_query(rng: &mut StdRng, gc: &GraphCachePlus) -> LabeledGraph {
 
 /// Applies a random dataset change through the GC+ facade.
 fn random_change(rng: &mut StdRng, gc: &mut GraphCachePlus, initial: &[LabeledGraph]) {
-    let op = OpType::ALL[rng.random_range(0..4)];
+    let op = OpType::ALL[rng.random_range(0..4usize)];
     let live: Vec<usize> = gc.store().iter_live().map(|(i, _)| i).collect();
     match op {
         OpType::Add => {
@@ -109,6 +109,8 @@ fn run_equivalence(
         internal_matcher: Algorithm::Vf2Plus,
         // half the runs exercise the FTV-filtered CS_M path
         use_ftv_filter: seed.is_multiple_of(2),
+        // a third of the runs exercise the parallel probe path
+        probe_parallelism: if seed.is_multiple_of(3) { 4 } else { 1 },
     };
     let mut gc = GraphCachePlus::new(config, initial.clone());
     let oracle_method = MethodM::new(Algorithm::Vf2);
@@ -131,29 +133,63 @@ fn run_equivalence(
 
 #[test]
 fn con_model_is_exact_subgraph() {
-    run_equivalence(1, CacheModel::Con, Policy::Hybrid, Algorithm::Vf2, QueryKind::Subgraph, 120);
+    run_equivalence(
+        1,
+        CacheModel::Con,
+        Policy::Hybrid,
+        Algorithm::Vf2,
+        QueryKind::Subgraph,
+        120,
+    );
 }
 
 #[test]
 fn evi_model_is_exact_subgraph() {
-    run_equivalence(2, CacheModel::Evi, Policy::Hybrid, Algorithm::Vf2, QueryKind::Subgraph, 120);
+    run_equivalence(
+        2,
+        CacheModel::Evi,
+        Policy::Hybrid,
+        Algorithm::Vf2,
+        QueryKind::Subgraph,
+        120,
+    );
 }
 
 #[test]
 fn con_model_is_exact_supergraph() {
-    run_equivalence(3, CacheModel::Con, Policy::Hybrid, Algorithm::Vf2Plus, QueryKind::Supergraph, 120);
+    run_equivalence(
+        3,
+        CacheModel::Con,
+        Policy::Hybrid,
+        Algorithm::Vf2Plus,
+        QueryKind::Supergraph,
+        120,
+    );
 }
 
 #[test]
 fn evi_model_is_exact_supergraph() {
-    run_equivalence(4, CacheModel::Evi, Policy::Pin, Algorithm::GraphQl, QueryKind::Supergraph, 80);
+    run_equivalence(
+        4,
+        CacheModel::Evi,
+        Policy::Pin,
+        Algorithm::GraphQl,
+        QueryKind::Supergraph,
+        80,
+    );
 }
 
 #[test]
 fn all_policies_preserve_correctness() {
-    for (i, policy) in [Policy::Lru, Policy::Lfu, Policy::Pin, Policy::Pinc, Policy::Hybrid]
-        .into_iter()
-        .enumerate()
+    for (i, policy) in [
+        Policy::Lru,
+        Policy::Lfu,
+        Policy::Pin,
+        Policy::Pinc,
+        Policy::Hybrid,
+    ]
+    .into_iter()
+    .enumerate()
     {
         run_equivalence(
             10 + i as u64,
@@ -221,7 +257,12 @@ fn zero_capacity_cache_degenerates_to_baseline() {
         let q = random_query(&mut rng, &gc);
         let out = gc.execute(&q, QueryKind::Subgraph);
         assert_eq!(out.metrics.tests_saved, 0, "nothing cached, nothing saved");
-        let truth = baseline_execute(gc.store(), &MethodM::new(Algorithm::Vf2), &q, QueryKind::Subgraph);
+        let truth = baseline_execute(
+            gc.store(),
+            &MethodM::new(Algorithm::Vf2),
+            &q,
+            QueryKind::Subgraph,
+        );
         assert_eq!(out.answer, truth.answer);
     }
 }

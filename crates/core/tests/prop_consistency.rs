@@ -7,9 +7,9 @@
 //! sequences, refresh validity incrementally, and compare every surviving
 //! bit against a recomputed ground truth.
 
-use gc_dataset::{ChangeLog, GraphStore, LogAnalyzer, LogCursor, OpType};
 use gc_core::entry::CachedQuery;
 use gc_core::validator::refresh_entry;
+use gc_dataset::{ChangeLog, GraphStore, LogAnalyzer, LogCursor, OpType};
 use gc_graph::generate::random_connected_graph;
 use gc_graph::{BitSet, LabeledGraph};
 use gc_subiso::{Algorithm, QueryKind};
@@ -17,11 +17,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn ground_truth_answer(
-    query: &LabeledGraph,
-    kind: QueryKind,
-    store: &GraphStore,
-) -> BitSet {
+fn ground_truth_answer(query: &LabeledGraph, kind: QueryKind, store: &GraphStore) -> BitSet {
     let m = Algorithm::Vf2.matcher();
     let mut answer = BitSet::new();
     for (id, g) in store.iter_live() {
@@ -40,7 +36,7 @@ fn ground_truth_answer(
 /// be applied.
 fn apply_random_change(rng: &mut StdRng, store: &mut GraphStore, log: &mut ChangeLog) -> bool {
     let live: Vec<usize> = store.iter_live().map(|(i, _)| i).collect();
-    match OpType::ALL[rng.random_range(0..4)] {
+    match OpType::ALL[rng.random_range(0..4usize)] {
         OpType::Add => {
             let n = rng.random_range(2..8usize);
             let g = random_connected_graph(rng, n, 1, |r| r.random_range(0..3u16));

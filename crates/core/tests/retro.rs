@@ -103,13 +103,11 @@ fn con_retro_is_exact_under_oscillating_churn() {
         }
         let q = {
             let live: Vec<usize> = gc.store().iter_live().map(|(id, _)| id).collect();
-            let src = gc.store().get(live[rng.random_range(0..live.len())]).expect("live");
-            match gc_graph::generate::bfs_extract(
-                &mut rng,
-                src,
-                0,
-                src.edge_count().clamp(1, 4),
-            ) {
+            let src = gc
+                .store()
+                .get(live[rng.random_range(0..live.len())])
+                .expect("live");
+            match gc_graph::generate::bfs_extract(&mut rng, src, 0, src.edge_count().clamp(1, 4)) {
                 Some(q) => q,
                 None => continue,
             }
@@ -130,9 +128,7 @@ fn con_retro_saves_more_tests_on_oscillating_workload() {
         .collect();
     // one fixed query pool replayed with oscillating edge churn
     let pool: Vec<LabeledGraph> = (0..6)
-        .map(|i| {
-            gc_graph::generate::bfs_extract(&mut rng, &initial[i], 0, 4).expect("extractable")
-        })
+        .map(|i| gc_graph::generate::bfs_extract(&mut rng, &initial[i], 0, 4).expect("extractable"))
         .collect();
 
     let run = |model: CacheModel| {

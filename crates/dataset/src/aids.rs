@@ -155,7 +155,11 @@ mod tests {
         assert!(stats.vertices.max <= 245);
         assert!(stats.vertices.min >= 4);
         // a heavy tail exists: some graph at least 3x the mean
-        assert!(stats.vertices.max as f64 > 3.0 * 45.0, "max {}", stats.vertices.max);
+        assert!(
+            stats.vertices.max as f64 > 3.0 * 45.0,
+            "max {}",
+            stats.vertices.max
+        );
         // label skew: most frequent label covers a plurality
         let total: u64 = stats.label_frequencies.iter().map(|&(_, c)| c).sum();
         let head = stats.label_frequencies[0].1;

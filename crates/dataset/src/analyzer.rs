@@ -91,7 +91,11 @@ mod tests {
     use super::*;
 
     fn rec(graph_id: GraphId, op: OpType) -> ChangeRecord {
-        ChangeRecord { graph_id, op, edge: None }
+        ChangeRecord {
+            graph_id,
+            op,
+            edge: None,
+        }
     }
 
     #[test]

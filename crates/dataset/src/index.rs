@@ -247,13 +247,17 @@ mod tests {
         // all three graphs
         let q = g(vec![0, 0, 1, 1, 2], &[(0, 1), (1, 2), (2, 3), (3, 4)]);
         assert_eq!(
-            idx.supergraph_candidates(&q).iter_ones().collect::<Vec<_>>(),
+            idx.supergraph_candidates(&q)
+                .iter_ones()
+                .collect::<Vec<_>>(),
             vec![0, 1, 2]
         );
         // small query can only contain graph 1
         let q2 = g(vec![0, 0], &[(0, 1)]);
         assert_eq!(
-            idx.supergraph_candidates(&q2).iter_ones().collect::<Vec<_>>(),
+            idx.supergraph_candidates(&q2)
+                .iter_ones()
+                .collect::<Vec<_>>(),
             vec![1]
         );
     }

@@ -105,7 +105,11 @@ impl ChangeRecord {
     /// An ADD/DEL record.
     pub fn structural(graph_id: GraphId, op: OpType) -> Self {
         debug_assert!(matches!(op, OpType::Add | OpType::Del));
-        ChangeRecord { graph_id, op, edge: None }
+        ChangeRecord {
+            graph_id,
+            op,
+            edge: None,
+        }
     }
 
     /// A UA/UR record with its edge (endpoints normalized).
@@ -228,10 +232,7 @@ mod tests {
         let op = ChangeOp::Ua { id: 1, u: 0, v: 1 };
         assert_eq!(op.op_type(), OpType::Ua);
         assert_eq!(ChangeOp::Del(0).op_type(), OpType::Del);
-        assert_eq!(
-            ChangeOp::Add(LabeledGraph::new()).op_type(),
-            OpType::Add
-        );
+        assert_eq!(ChangeOp::Add(LabeledGraph::new()).op_type(), OpType::Add);
         assert_eq!(ChangeOp::Ur { id: 0, u: 0, v: 1 }.op_type(), OpType::Ur);
     }
 }

@@ -105,7 +105,7 @@ impl ChangePlan {
                 };
                 let ops = (0..cfg.ops_per_batch)
                     .map(|_| PlannedOp {
-                        op: OpType::ALL[rng.random_range(0..4)],
+                        op: OpType::ALL[rng.random_range(0..4usize)],
                     })
                     .collect();
                 ChangeBatch { at_query, ops }
@@ -122,7 +122,9 @@ impl ChangePlan {
 
     /// An empty plan (static dataset — the GC baseline setting).
     pub fn empty() -> ChangePlan {
-        ChangePlan { batches: Vec::new() }
+        ChangePlan {
+            batches: Vec::new(),
+        }
     }
 }
 

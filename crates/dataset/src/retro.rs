@@ -85,11 +85,7 @@ impl RetroAnalyzer {
                     let sign = if r.op == OpType::Ua { 1 } else { -1 };
                     match r.edge {
                         Some(e) => {
-                            *deltas
-                                .entry(r.graph_id)
-                                .or_default()
-                                .entry(e)
-                                .or_insert(0) += sign;
+                            *deltas.entry(r.graph_id).or_default().entry(e).or_insert(0) += sign;
                         }
                         None => {
                             // a log without endpoints cannot be folded:

@@ -83,7 +83,8 @@ impl GraphStore {
     /// **UA**: adds edge `(u, v)` to graph `id`.
     pub fn add_edge(&mut self, id: GraphId, u: VertexId, v: VertexId) -> Result<(), DatasetError> {
         let g = self.get_mut(id)?;
-        g.add_edge(u, v).map_err(|source| DatasetError::Graph { id, source })
+        g.add_edge(u, v)
+            .map_err(|source| DatasetError::Graph { id, source })
     }
 
     /// **UR**: removes edge `(u, v)` from graph `id`.
@@ -218,7 +219,10 @@ mod tests {
         s.delete(0).unwrap();
         let live = s.live_bitset();
         assert_eq!(live.iter_ones().collect::<Vec<_>>(), vec![1, 2]);
-        assert_eq!(s.iter_live().map(|(i, _)| i).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(
+            s.iter_live().map(|(i, _)| i).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
     }
 
     #[test]

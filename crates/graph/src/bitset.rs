@@ -34,10 +34,7 @@ impl PartialEq for BitSet {
         } else {
             (&other.blocks, &self.blocks)
         };
-        short
-            .iter()
-            .zip(long.iter())
-            .all(|(a, b)| a == b)
+        short.iter().zip(long.iter()).all(|(a, b)| a == b)
             && long[short.len()..].iter().all(|&b| b == 0)
     }
 }
@@ -345,7 +342,10 @@ mod tests {
         let b = BitSet::from_indices([2usize, 3, 4, 200]);
 
         let u = a.union(&b);
-        assert_eq!(u.iter_ones().collect::<Vec<_>>(), vec![1, 2, 3, 4, 100, 200]);
+        assert_eq!(
+            u.iter_ones().collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 100, 200]
+        );
 
         let i = a.intersection(&b);
         assert_eq!(i.iter_ones().collect::<Vec<_>>(), vec![2, 3]);

@@ -230,8 +230,7 @@ mod tests {
         for seed in 0..60 {
             let n = rng.random_range(2..10usize);
             let extra = rng.random_range(0..4usize);
-            let graph =
-                random_connected_graph(&mut rng, n, extra, |r| r.random_range(0..3u16));
+            let graph = random_connected_graph(&mut rng, n, extra, |r| r.random_range(0..3u16));
             let shuffled = permute(&graph, &mut rng);
             assert!(
                 isomorphic(&graph, &shuffled),
@@ -249,7 +248,10 @@ mod tests {
     fn distinguishes_non_isomorphic_same_signature() {
         // same |V|, |E|, label histogram, degree sequence — different
         // structure: C6 vs two triangles
-        let c6 = g(vec![0; 6], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let c6 = g(
+            vec![0; 6],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
+        );
         let two_triangles = g(
             vec![0; 6],
             &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
@@ -265,11 +267,29 @@ mod tests {
         // classic C6 vs K3,3-minus-matching style case: C8 vs two C4s
         let c8 = g(
             vec![0; 8],
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 0),
+            ],
         );
         let two_c4 = g(
             vec![0; 8],
-            &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (5, 6), (6, 7), (7, 4)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 4),
+            ],
         );
         // both 2-regular: 1-WL alone cannot split them; branching must
         assert!(!isomorphic(&c8, &two_c4));

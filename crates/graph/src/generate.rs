@@ -15,11 +15,15 @@
 //!   graph size is reached"). Both return connected subgraphs of the source
 //!   graph with vertex labels preserved, so every extracted query has at
 //!   least one embedding in its source graph.
+//!
+//! All construction goes through [`GraphBuilder`] (amortized per-row
+//! inserts) and freezes into the CSR [`LabeledGraph`] exactly once per
+//! generated graph.
 
 use rand::seq::{IndexedRandom, SliceRandom};
 use rand::Rng;
 
-use crate::graph::{Label, LabeledGraph, VertexId};
+use crate::graph::{GraphBuilder, Label, LabeledGraph, VertexId};
 
 /// Builds a connected random graph: a random spanning tree over `n`
 /// vertices plus `extra_edges` additional distinct random edges. Labels are
@@ -35,13 +39,13 @@ pub fn random_connected_graph<R: Rng + ?Sized>(
     extra_edges: usize,
     mut label_of: impl FnMut(&mut R) -> Label,
 ) -> LabeledGraph {
-    let mut g = LabeledGraph::with_capacity(n);
+    let mut g = GraphBuilder::with_capacity(n);
     for _ in 0..n {
         let l = label_of(rng);
         g.add_vertex(l);
     }
     if n <= 1 {
-        return g;
+        return g.build();
     }
     // Random spanning tree: attach vertex i to a uniformly random earlier one.
     for i in 1..n {
@@ -59,7 +63,7 @@ pub fn random_connected_graph<R: Rng + ?Sized>(
             added += 1;
         }
     }
-    g
+    g.build()
 }
 
 /// Builds a molecule-like sparse graph: a spanning tree grown with a
@@ -76,13 +80,13 @@ pub fn molecule_like<R: Rng + ?Sized>(
     mut label_of: impl FnMut(&mut R) -> Label,
 ) -> LabeledGraph {
     assert!(max_degree >= 2, "molecules need max_degree >= 2");
-    let mut g = LabeledGraph::with_capacity(n);
+    let mut g = GraphBuilder::with_capacity(n);
     for _ in 0..n {
         let l = label_of(rng);
         g.add_vertex(l);
     }
     if n <= 1 {
-        return g;
+        return g.build();
     }
     // Grow a tree attaching each new vertex to a random earlier vertex with
     // spare valence; fall back to a uniformly random earlier vertex if the
@@ -131,7 +135,7 @@ pub fn molecule_like<R: Rng + ?Sized>(
             added += 1;
         }
     }
-    g
+    g.build()
 }
 
 /// Type A query extraction (paper §7.1): BFS from `start`, adding — for
@@ -154,7 +158,7 @@ pub fn bfs_extract<R: Rng + ?Sized>(
     let n = source.vertex_count();
     let mut visited = vec![false; n];
     let mut map = vec![u32::MAX; n]; // source id -> query id
-    let mut query = LabeledGraph::new();
+    let mut query = GraphBuilder::new();
     let mut frontier = std::collections::VecDeque::new();
 
     visited[start as usize] = true;
@@ -169,7 +173,7 @@ pub fn bfs_extract<R: Rng + ?Sized>(
         ns.shuffle(rng);
         for v in ns {
             if edges >= target_edges {
-                return Some(query);
+                return Some(query.build());
             }
             if !visited[v as usize] {
                 visited[v as usize] = true;
@@ -185,7 +189,7 @@ pub fn bfs_extract<R: Rng + ?Sized>(
                             query.add_edge(qv, qw).expect("deduplicated");
                             edges += 1;
                             if edges >= target_edges {
-                                return Some(query);
+                                return Some(query.build());
                             }
                         }
                     }
@@ -213,7 +217,7 @@ pub fn random_walk_extract<R: Rng + ?Sized>(
     }
     let n = source.vertex_count();
     let mut map = vec![u32::MAX; n];
-    let mut query = LabeledGraph::new();
+    let mut query = GraphBuilder::new();
     map[start as usize] = query.add_vertex(source.label(start));
 
     let mut cur = start;
@@ -223,7 +227,7 @@ pub fn random_walk_extract<R: Rng + ?Sized>(
     let max_steps = (target_edges + 1) * 50;
     for _ in 0..max_steps {
         if edges >= target_edges {
-            return Some(query);
+            return Some(query.build());
         }
         let ns = source.neighbors(cur);
         if ns.is_empty() {
@@ -242,7 +246,7 @@ pub fn random_walk_extract<R: Rng + ?Sized>(
         cur = next;
     }
     if edges >= target_edges {
-        Some(query)
+        Some(query.build())
     } else {
         None
     }

@@ -14,7 +14,7 @@
 //! the synthetic AIDS dataset is persisted so experiment runs are
 //! reproducible across processes.
 
-use crate::graph::{GraphError, Label, LabeledGraph};
+use crate::graph::{GraphBuilder, GraphError, Label, LabeledGraph};
 
 /// Errors raised while parsing the text format.
 #[derive(Debug)]
@@ -82,14 +82,19 @@ pub fn parse_graph(text: &str) -> Result<LabeledGraph, IoError> {
     let graphs = parse_dataset(text)?;
     match graphs.len() {
         1 => Ok(graphs.into_iter().next().expect("len checked")),
-        n => Err(parse_err(0, format!("expected exactly one graph, found {n}"))),
+        n => Err(parse_err(
+            0,
+            format!("expected exactly one graph, found {n}"),
+        )),
     }
 }
 
 /// Parses a multi-graph dataset document.
 pub fn parse_dataset(text: &str) -> Result<Vec<LabeledGraph>, IoError> {
+    // accumulate each block in a GraphBuilder (amortized inserts) and
+    // freeze to CSR once per graph, instead of splicing per edge line
     let mut graphs: Vec<LabeledGraph> = Vec::new();
-    let mut current: Option<LabeledGraph> = None;
+    let mut current: Option<GraphBuilder> = None;
 
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -102,16 +107,16 @@ pub fn parse_dataset(text: &str) -> Result<Vec<LabeledGraph>, IoError> {
         match tag {
             "t" => {
                 if let Some(g) = current.take() {
-                    graphs.push(g);
+                    graphs.push(g.build());
                 }
-                current = Some(LabeledGraph::new());
+                current = Some(GraphBuilder::new());
                 // the id token is informational; require it to be present
                 parts
                     .next()
                     .ok_or_else(|| parse_err(line_no, "missing graph id after 't'"))?;
             }
             "v" => {
-                let g = current.get_or_insert_with(LabeledGraph::new);
+                let g = current.get_or_insert_with(GraphBuilder::new);
                 let vid: usize = parts
                     .next()
                     .ok_or_else(|| parse_err(line_no, "missing vertex id"))?
@@ -125,7 +130,10 @@ pub fn parse_dataset(text: &str) -> Result<Vec<LabeledGraph>, IoError> {
                 if vid != g.vertex_count() {
                     return Err(parse_err(
                         line_no,
-                        format!("vertex ids must be dense: expected {}, got {vid}", g.vertex_count()),
+                        format!(
+                            "vertex ids must be dense: expected {}, got {vid}",
+                            g.vertex_count()
+                        ),
                     ));
                 }
                 g.add_vertex(label);
@@ -153,7 +161,7 @@ pub fn parse_dataset(text: &str) -> Result<Vec<LabeledGraph>, IoError> {
         }
     }
     if let Some(g) = current.take() {
-        graphs.push(g);
+        graphs.push(g.build());
     }
     Ok(graphs)
 }

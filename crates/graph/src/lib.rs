@@ -3,7 +3,17 @@
 //! This crate is the lowest substrate of the GC+ reproduction. It provides:
 //!
 //! * [`LabeledGraph`] — an undirected graph with vertex labels and mutable
-//!   edge set (the paper's UA/UR dataset updates mutate edges in place);
+//!   edge set (the paper's UA/UR dataset updates mutate edges in place),
+//!   stored in a flat **CSR** layout (`offsets` + concatenated sorted
+//!   neighbor rows) so the sub-iso hot reads — `neighbors`, `degree`,
+//!   `has_edge` — are contiguous, allocation-free and O(1)/O(log deg).
+//!   Each graph carries a cached [`GraphSignature`] (vertex/edge counts,
+//!   max degree, label histogram) maintained incrementally across
+//!   mutations — the substrate of Method M's O(1) candidate pre-filter;
+//! * [`GraphBuilder`] — the amortized batch-construction form: per-row
+//!   vectors during generation, frozen into CSR once by
+//!   [`GraphBuilder::build`]. Single-edge UA/UR updates splice the CSR
+//!   arrays directly (a short `memmove` at this workload's graph sizes);
 //! * [`BitSet`] — a growable bitset used for the per-cached-query answer
 //!   sets (`Answer`) and validity indicators (`CGvalid`) of the paper's
 //!   Algorithm 2, and for the candidate-set algebra of formulas (1)–(5);
@@ -29,6 +39,6 @@ pub mod zipf;
 
 pub use bitset::BitSet;
 pub use canon::{canonical_form, isomorphic, CanonicalForm};
-pub use graph::{GraphError, Label, LabeledGraph, VertexId};
+pub use graph::{GraphBuilder, GraphError, GraphSignature, Label, LabeledGraph, VertexId};
 pub use source::GraphSource;
 pub use zipf::Zipf;

@@ -89,7 +89,10 @@ mod tests {
         let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
         assert!((total - 1.0).abs() < 1e-9);
         for k in 1..100 {
-            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12, "pmf must be non-increasing");
+            assert!(
+                z.pmf(k) <= z.pmf(k - 1) + 1e-12,
+                "pmf must be non-increasing"
+            );
         }
         assert_eq!(z.pmf(100), 0.0);
     }
@@ -115,7 +118,10 @@ mod tests {
         }
         // empirical frequency of rank 0 within 5% of theory
         let emp0 = counts[0] as f64 / draws as f64;
-        assert!((emp0 - z.pmf(0)).abs() < 0.05 * z.pmf(0) + 0.005, "emp0={emp0}");
+        assert!(
+            (emp0 - z.pmf(0)).abs() < 0.05 * z.pmf(0) + 0.005,
+            "emp0={emp0}"
+        );
         // monotone-ish decay on the head
         assert!(counts[0] > counts[1]);
         assert!(counts[1] > counts[4]);

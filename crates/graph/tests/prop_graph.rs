@@ -5,7 +5,7 @@
 
 use std::collections::HashSet;
 
-use gc_graph::{BitSet, LabeledGraph};
+use gc_graph::{BitSet, GraphBuilder, LabeledGraph};
 use proptest::prelude::*;
 
 /// Ops applied to both the BitSet under test and a HashSet model.
@@ -173,6 +173,86 @@ proptest! {
                 prop_assert!(g.neighbors(v).contains(&u));
             }
         }
+    }
+
+    /// CSR view ⟷ builder equivalence under random UA/UR sequences: the
+    /// in-place CSR splicing path and the batch GraphBuilder path reach
+    /// identical graphs, rows stay sorted and mirrored, `has_edge` is
+    /// symmetric, and the cached degree/max-degree/signature values match
+    /// a naive from-scratch recomputation.
+    #[test]
+    fn csr_matches_builder_and_caches_stay_consistent(
+        ops in prop::collection::vec(edgeop(10), 0..120),
+    ) {
+        let n = 10u32;
+        // CSR path: apply UA/UR directly to the frozen representation
+        let mut csr = LabeledGraph::new();
+        for i in 0..n {
+            csr.add_vertex((i % 4) as u16);
+        }
+        // record the ops that succeeded to replay through the builder
+        let mut applied: Vec<(bool, u32, u32)> = Vec::new();
+        for op in ops {
+            match op {
+                EdgeOp::Add(u, v) => {
+                    if csr.add_edge(u, v).is_ok() {
+                        applied.push((true, u, v));
+                    }
+                }
+                EdgeOp::Remove(u, v) => {
+                    if csr.remove_edge(u, v).is_ok() {
+                        applied.push((false, u, v));
+                    }
+                }
+            }
+
+            // invariants hold after EVERY mutation, not just at the end
+            for u in 0..n {
+                let row = csr.neighbors(u);
+                prop_assert!(row.windows(2).all(|w| w[0] < w[1]), "row sorted");
+                prop_assert_eq!(row.len(), csr.degree(u), "degree = row length");
+                for &v in row {
+                    prop_assert!(csr.has_edge(u, v) && csr.has_edge(v, u), "symmetry");
+                    prop_assert!(csr.neighbors(v).contains(&u), "mirror");
+                }
+            }
+            // cached signature vs naive recomputation
+            let sig = csr.signature();
+            prop_assert_eq!(sig.vertices as usize, csr.vertex_count());
+            prop_assert_eq!(sig.edges as usize, csr.edge_count());
+            let naive_max = (0..n).map(|v| csr.neighbors(v).len()).max().unwrap_or(0);
+            prop_assert_eq!(sig.max_degree as usize, naive_max, "max-degree cache");
+            let mut naive_hist: Vec<(u16, u32)> = Vec::new();
+            for &l in csr.labels() {
+                match naive_hist.iter_mut().find(|(hl, _)| *hl == l) {
+                    Some((_, c)) => *c += 1,
+                    None => naive_hist.push((l, 1)),
+                }
+            }
+            naive_hist.sort_unstable();
+            prop_assert_eq!(&sig.labels, &naive_hist, "label-histogram cache");
+        }
+
+        // builder path: replay the surviving edge set in one batch
+        let mut b = GraphBuilder::with_capacity(n as usize);
+        for i in 0..n {
+            b.add_vertex((i % 4) as u16);
+        }
+        let mut survivors: HashSet<(u32, u32)> = HashSet::new();
+        for (add, u, v) in applied {
+            let key = (u.min(v), u.max(v));
+            if add {
+                survivors.insert(key);
+            } else {
+                survivors.remove(&key);
+            }
+        }
+        for &(u, v) in &survivors {
+            b.add_edge(u, v).expect("survivor edges are distinct");
+        }
+        let built = b.build();
+        prop_assert_eq!(&built, &csr, "builder and CSR-splice paths agree");
+        prop_assert_eq!(built.signature(), csr.signature());
     }
 
     /// Text IO round-trips arbitrary generated graphs.

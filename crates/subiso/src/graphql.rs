@@ -136,10 +136,8 @@ impl GraphQl {
     ) -> Option<Vec<Vec<VertexId>>> {
         let np = pattern.vertex_count();
         // Phase 1: profile-based local pruning.
-        let target_profiles: Vec<Vec<Label>> = target
-            .vertices()
-            .map(|v| profile(target, v))
-            .collect();
+        let target_profiles: Vec<Vec<Label>> =
+            target.vertices().map(|v| profile(target, v)).collect();
         let mut candidates: Vec<Vec<VertexId>> = Vec::with_capacity(np);
         for u in pattern.vertices() {
             let pu = profile(pattern, u);
@@ -221,7 +219,11 @@ impl GraphQl {
             let pick = (0..n as VertexId)
                 .filter(|&i| !placed[i as usize])
                 .min_by_key(|&i| {
-                    let conn_rank = if step == 0 || connected[i as usize] { 0 } else { 1 };
+                    let conn_rank = if step == 0 || connected[i as usize] {
+                        0
+                    } else {
+                        1
+                    };
                     (conn_rank, candidates[i as usize].len(), i)
                 })
                 .expect("some vertex remains");

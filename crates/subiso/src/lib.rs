@@ -18,7 +18,16 @@
 //!
 //! [`MethodM`] wraps any of them into the paper's "Method M": scanning a
 //! candidate set of dataset graphs, counting one sub-iso test per candidate
-//! — the quantity behind Figure 5.
+//! — the quantity behind Figure 5. Two hot-path stages sit inside the scan
+//! (see [`method`] for the full design):
+//!
+//! * a **signature pre-filter** ([`filter::signature_may_contain`]) that
+//!   decides candidates by O(1) domination checks over the CSR graphs'
+//!   cached [`gc_graph::GraphSignature`]s before any matcher runs,
+//!   reported as `prefilter_skips`;
+//! * a **parallel candidate scan** ([`parallel`]) over scoped worker
+//!   threads with dynamic batch claiming, merging per-candidate verdicts
+//!   in id order so answers stay deterministic.
 //!
 //! A deliberately naive [`bruteforce`] matcher exists purely as a testing
 //! oracle; the three production algorithms are cross-validated against it
@@ -29,6 +38,7 @@ pub mod bruteforce;
 pub mod filter;
 pub mod graphql;
 pub mod method;
+pub mod parallel;
 pub mod vf2;
 pub mod vf2plus;
 
@@ -51,8 +61,11 @@ pub trait SubgraphMatcher: Send + Sync {
 
     /// Does `pattern ⊆ target` (non-induced, label-preserving)? Also
     /// reports search statistics.
-    fn contains_with_stats(&self, pattern: &LabeledGraph, target: &LabeledGraph)
-        -> (bool, MatchStats);
+    fn contains_with_stats(
+        &self,
+        pattern: &LabeledGraph,
+        target: &LabeledGraph,
+    ) -> (bool, MatchStats);
 
     /// Does `pattern ⊆ target`?
     fn contains(&self, pattern: &LabeledGraph, target: &LabeledGraph) -> bool {

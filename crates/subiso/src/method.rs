@@ -10,12 +10,32 @@
 //! observation that Figure 5 is Method-M-independent falls out of this
 //! structure.
 //!
-//! The scan optionally fans out over threads (`parallelism > 1`) using
-//! crossbeam scoped threads. Results are deterministic either way: the
-//! answer is a set, and the test count equals the candidate count.
+//! ### The scan hot path
+//!
+//! Two orthogonal optimizations sit between the candidate set and the
+//! matcher, following the filter-then-verify discipline:
+//!
+//! * **signature pre-filter** (`prefilter`, on by default) — before any
+//!   matcher runs, the candidate's cached
+//!   [`GraphSignature`](gc_graph::GraphSignature) is checked against the
+//!   query's: vertex/edge counts, maximum degree and label-multiset
+//!   containment (direction depends on [`QueryKind`]). These are necessary
+//!   conditions, so a rejected candidate is decided *negative* in O(1)
+//!   without invoking the NP-complete search. Each such decision still
+//!   counts as one executed test (the candidate was examined — Figure 5's
+//!   accounting is unchanged) and is additionally tallied in
+//!   [`MethodAnswer::prefilter_skips`];
+//! * **parallel scanning** (`parallelism > 1`) — the surviving candidates
+//!   fan out over scoped worker threads
+//!   ([`parallel_map_indexed`](crate::parallel::parallel_map_indexed),
+//!   dynamic batch claiming). Matchers are `Send + Sync`, per-candidate
+//!   decisions are independent, and partial results are merged in id
+//!   order, so answers, test counts and skip counts are bit-identical to
+//!   the sequential scan.
 
 use gc_graph::{BitSet, GraphSource, LabeledGraph};
 
+use crate::parallel::parallel_map_indexed;
 use crate::Algorithm;
 
 /// Whether a query asks for dataset graphs *containing* it (subgraph
@@ -43,8 +63,13 @@ impl QueryKind {
 pub struct MethodAnswer {
     /// Ids of candidate graphs that passed the sub-iso test.
     pub answer: BitSet,
-    /// Number of sub-iso tests executed (= candidates examined).
+    /// Number of sub-iso tests executed (= candidates examined). Includes
+    /// candidates decided by the signature pre-filter, so the count stays
+    /// Method-M- and pre-filter-independent (Figure 5's premise).
     pub tests: u64,
+    /// Of `tests`, how many were decided negatively by the O(1) signature
+    /// pre-filter without running the matcher.
+    pub prefilter_skips: u64,
 }
 
 /// Method M: an SI algorithm plus a scan strategy.
@@ -55,33 +80,70 @@ pub struct MethodM {
     /// Worker threads for the scan; `1` = sequential (deterministic wall
     /// clock, still deterministic answers either way).
     pub parallelism: usize,
+    /// Signature pre-filter stage (on by default): decide candidates by
+    /// O(1) signature domination before invoking the matcher.
+    pub prefilter: bool,
 }
 
 impl MethodM {
-    /// Sequential Method M over the given algorithm.
+    /// Sequential Method M over the given algorithm (pre-filter on).
     pub fn new(algorithm: Algorithm) -> Self {
         MethodM {
             algorithm,
             parallelism: 1,
+            prefilter: true,
         }
     }
 
-    /// Parallel Method M (`threads` clamped to ≥ 1).
+    /// Parallel Method M (`threads` clamped to ≥ 1, pre-filter on).
     pub fn parallel(algorithm: Algorithm, threads: usize) -> Self {
         MethodM {
             algorithm,
             parallelism: threads.max(1),
+            prefilter: true,
         }
+    }
+
+    /// Toggles the signature pre-filter stage.
+    pub fn with_prefilter(mut self, enabled: bool) -> Self {
+        self.prefilter = enabled;
+        self
     }
 
     /// Decides one sub-iso test according to the query kind.
     #[inline]
-    pub fn decide(&self, query: &LabeledGraph, kind: QueryKind, dataset_graph: &LabeledGraph) -> bool {
+    pub fn decide(
+        &self,
+        query: &LabeledGraph,
+        kind: QueryKind,
+        dataset_graph: &LabeledGraph,
+    ) -> bool {
         let m = self.algorithm.matcher();
         match kind {
             QueryKind::Subgraph => m.contains(query, dataset_graph),
             QueryKind::Supergraph => m.contains(dataset_graph, query),
         }
+    }
+
+    /// Decides one candidate, going through the pre-filter stage first.
+    /// Returns `(contained, prefilter_skipped)`.
+    #[inline]
+    fn decide_filtered(
+        &self,
+        query: &LabeledGraph,
+        kind: QueryKind,
+        dataset_graph: &LabeledGraph,
+    ) -> (bool, bool) {
+        if self.prefilter {
+            let feasible = match kind {
+                QueryKind::Subgraph => dataset_graph.signature().dominates(query.signature()),
+                QueryKind::Supergraph => query.signature().dominates(dataset_graph.signature()),
+            };
+            if !feasible {
+                return (false, true);
+            }
+        }
+        (self.decide(query, kind, dataset_graph), false)
     }
 
     /// Scans `candidates` (ids into `source`), running one sub-iso test per
@@ -101,39 +163,35 @@ impl MethodM {
         if ids.len() < 2 * self.parallelism {
             return self.run_sequential(query, kind, source, candidates);
         }
-        let chunk = ids.len().div_ceil(self.parallelism);
-        let mut partials: Vec<(BitSet, u64)> = Vec::new();
-        crossbeam::scope(|scope| {
-            let handles: Vec<_> = ids
-                .chunks(chunk)
-                .map(|part| {
-                    scope.spawn(move |_| {
-                        let mut answer = BitSet::new();
-                        let mut tests = 0u64;
-                        for &id in part {
-                            if let Some(g) = source.graph(id) {
-                                tests += 1;
-                                if self.decide(query, kind, g) {
-                                    answer.set(id, true);
-                                }
-                            }
-                        }
-                        (answer, tests)
-                    })
-                })
-                .collect();
-            for h in handles {
-                partials.push(h.join().expect("scan worker panicked"));
+        // (present, contained, skipped) per candidate, in id order
+        let verdicts = parallel_map_indexed(ids.len(), self.parallelism, |i| {
+            match source.graph(ids[i]) {
+                Some(g) => {
+                    let (contained, skipped) = self.decide_filtered(query, kind, g);
+                    (true, contained, skipped)
+                }
+                None => (false, false, false),
             }
-        })
-        .expect("crossbeam scope failed");
+        });
         let mut answer = BitSet::new();
-        let mut tests = 0;
-        for (a, t) in partials {
-            answer.union_with(&a);
-            tests += t;
+        let mut tests = 0u64;
+        let mut prefilter_skips = 0u64;
+        for (i, &(present, contained, skipped)) in verdicts.iter().enumerate() {
+            if present {
+                tests += 1;
+                if contained {
+                    answer.set(ids[i], true);
+                }
+                if skipped {
+                    prefilter_skips += 1;
+                }
+            }
         }
-        MethodAnswer { answer, tests }
+        MethodAnswer {
+            answer,
+            tests,
+            prefilter_skips,
+        }
     }
 
     fn run_sequential<S: GraphSource + ?Sized>(
@@ -145,15 +203,24 @@ impl MethodM {
     ) -> MethodAnswer {
         let mut answer = BitSet::new();
         let mut tests = 0u64;
+        let mut prefilter_skips = 0u64;
         for id in candidates.iter_ones() {
             if let Some(g) = source.graph(id) {
                 tests += 1;
-                if self.decide(query, kind, g) {
+                let (contained, skipped) = self.decide_filtered(query, kind, g);
+                if contained {
                     answer.set(id, true);
+                }
+                if skipped {
+                    prefilter_skips += 1;
                 }
             }
         }
-        MethodAnswer { answer, tests }
+        MethodAnswer {
+            answer,
+            tests,
+            prefilter_skips,
+        }
     }
 }
 
@@ -184,6 +251,8 @@ mod tests {
         let r = m.run(&query, QueryKind::Subgraph, &data, &cands);
         assert_eq!(r.tests, 4);
         assert_eq!(r.answer.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2]);
+        // the 1-1 labeled edge was rejected by the signature pre-filter
+        assert_eq!(r.prefilter_skips, 1);
     }
 
     #[test]
@@ -195,6 +264,7 @@ mod tests {
         let cands = BitSet::from_indices(0..4);
         let r = m.run(&query, QueryKind::Supergraph, &data, &cands);
         assert_eq!(r.answer.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(r.prefilter_skips, 1, "1-1 edge cannot be ⊆ an all-0 query");
     }
 
     #[test]
@@ -220,6 +290,42 @@ mod tests {
     }
 
     #[test]
+    fn prefilter_on_and_off_agree_on_answers() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut data = Vec::new();
+        for _ in 0..40 {
+            let n = rng.random_range(3..12usize);
+            let extra = rng.random_range(0..n);
+            data.push(gc_graph::generate::random_connected_graph(
+                &mut rng,
+                n,
+                extra,
+                |r| r.random_range(0..4u16),
+            ));
+        }
+        let cands = BitSet::from_indices(0..40);
+        for seed in 0..10u64 {
+            let mut qrng = StdRng::seed_from_u64(seed);
+            let src = seed as usize % 40;
+            let want = 1 + (seed as usize % 5);
+            let Some(query) = gc_graph::generate::bfs_extract(&mut qrng, &data[src], 0, want)
+            else {
+                continue;
+            };
+            for kind in [QueryKind::Subgraph, QueryKind::Supergraph] {
+                let on = MethodM::new(Algorithm::Vf2).run(&query, kind, &data, &cands);
+                let off = MethodM::new(Algorithm::Vf2)
+                    .with_prefilter(false)
+                    .run(&query, kind, &data, &cands);
+                assert_eq!(on.answer, off.answer, "seed {seed} {kind:?}");
+                assert_eq!(on.tests, off.tests, "tests are candidate counts");
+                assert_eq!(off.prefilter_skips, 0);
+            }
+        }
+    }
+
+    #[test]
     fn parallel_equals_sequential() {
         let mut data = Vec::new();
         use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -238,10 +344,24 @@ mod tests {
         let cands = BitSet::from_indices(0..50);
         for algo in Algorithm::ALL {
             let seq = MethodM::new(algo).run(&query, QueryKind::Subgraph, &data, &cands);
-            let par =
-                MethodM::parallel(algo, 4).run(&query, QueryKind::Subgraph, &data, &cands);
+            let par = MethodM::parallel(algo, 4).run(&query, QueryKind::Subgraph, &data, &cands);
             assert_eq!(seq, par, "algo {algo}");
             assert!(seq.answer.get(7), "query came from graph 7");
+            // and with the pre-filter disabled on both sides
+            let seq_off = MethodM::new(algo).with_prefilter(false).run(
+                &query,
+                QueryKind::Subgraph,
+                &data,
+                &cands,
+            );
+            let par_off = MethodM {
+                algorithm: algo,
+                parallelism: 4,
+                prefilter: false,
+            }
+            .run(&query, QueryKind::Subgraph, &data, &cands);
+            assert_eq!(seq_off, par_off, "algo {algo} (prefilter off)");
+            assert_eq!(seq.answer, seq_off.answer);
         }
     }
 
@@ -257,7 +377,11 @@ mod tests {
         for q in &queries {
             let results: Vec<_> = Algorithm::ALL
                 .iter()
-                .map(|&a| MethodM::new(a).run(q, QueryKind::Subgraph, &data, &cands).answer)
+                .map(|&a| {
+                    MethodM::new(a)
+                        .run(q, QueryKind::Subgraph, &data, &cands)
+                        .answer
+                })
                 .collect();
             assert_eq!(results[0], results[1]);
             assert_eq!(results[1], results[2]);

@@ -451,10 +451,7 @@ mod tests {
     #[test]
     fn embedding_is_valid() {
         let p = g(vec![0, 1, 0], &[(0, 1), (1, 2)]);
-        let t = g(
-            vec![1, 0, 0, 1],
-            &[(0, 1), (0, 2), (1, 3), (2, 3)],
-        );
+        let t = g(vec![1, 0, 0, 1], &[(0, 1), (0, 2), (1, 3), (2, 3)]);
         let e = Vf2.find_embedding(&p, &t).expect("embedding exists");
         assert!(verify_embedding(&p, &t, &e));
     }

@@ -109,7 +109,10 @@ mod tests {
             };
             let a = Vf2.contains(&pattern, &target);
             let b = Vf2Plus.contains(&pattern, &target);
-            assert_eq!(a, b, "disagreement on case {i}:\nP={pattern:?}\nT={target:?}");
+            assert_eq!(
+                a, b,
+                "disagreement on case {i}:\nP={pattern:?}\nT={target:?}"
+            );
             if a {
                 positives += 1;
             }

@@ -82,19 +82,44 @@ fn cycles_in_cliques_non_induced() {
     check(&cycle(3, 0), &clique(3, 0), true, "C3 in K3");
     check(&cycle(4, 0), &clique(4, 0), true, "C4 in K4");
     check(&cycle(4, 0), &clique(5, 0), true, "C4 in K5");
-    check(&cycle(5, 0), &clique(4, 0), false, "C5 in K4 (too few vertices)");
+    check(
+        &cycle(5, 0),
+        &clique(4, 0),
+        false,
+        "C5 in K4 (too few vertices)",
+    );
 }
 
 #[test]
 fn cliques_in_bipartite() {
     // K3 contains a triangle; bipartite graphs are triangle-free
-    check(&clique(3, 0), &complete_bipartite(3, 3, 0), false, "K3 in K3,3");
+    check(
+        &clique(3, 0),
+        &complete_bipartite(3, 3, 0),
+        false,
+        "K3 in K3,3",
+    );
     // C4 embeds in K3,3 (even cycle)
-    check(&cycle(4, 0), &complete_bipartite(3, 3, 0), true, "C4 in K3,3");
+    check(
+        &cycle(4, 0),
+        &complete_bipartite(3, 3, 0),
+        true,
+        "C4 in K3,3",
+    );
     // C6 too
-    check(&cycle(6, 0), &complete_bipartite(3, 3, 0), true, "C6 in K3,3");
+    check(
+        &cycle(6, 0),
+        &complete_bipartite(3, 3, 0),
+        true,
+        "C6 in K3,3",
+    );
     // odd cycle C5 does not (bipartite = no odd cycles)
-    check(&cycle(5, 0), &complete_bipartite(3, 3, 0), false, "C5 in K3,3");
+    check(
+        &cycle(5, 0),
+        &complete_bipartite(3, 3, 0),
+        false,
+        "C5 in K3,3",
+    );
 }
 
 #[test]
@@ -193,7 +218,9 @@ fn vf2plus_prunes_at_least_as_hard_on_symmetric_negatives() {
     // which has no grip on a label-uniform graph; see the labeled test.)
     let pattern = cycle(7, 0);
     let target = complete_bipartite(4, 4, 0);
-    let (found_vf2, s_vf2) = Algorithm::Vf2.matcher().contains_with_stats(&pattern, &target);
+    let (found_vf2, s_vf2) = Algorithm::Vf2
+        .matcher()
+        .contains_with_stats(&pattern, &target);
     let (found_plus, s_plus) = Algorithm::Vf2Plus
         .matcher()
         .contains_with_stats(&pattern, &target);
@@ -223,7 +250,9 @@ fn gql_filtering_wins_on_label_rich_negatives() {
     edges.extend((0..n - 7).map(|i| (i, i + 7))); // chords that never close a labeled C5
     let target = g(labels, &edges);
 
-    let (found_vf2, s_vf2) = Algorithm::Vf2.matcher().contains_with_stats(&pattern, &target);
+    let (found_vf2, s_vf2) = Algorithm::Vf2
+        .matcher()
+        .contains_with_stats(&pattern, &target);
     let (found_gql, s_gql) = Algorithm::GraphQl
         .matcher()
         .contains_with_stats(&pattern, &target);

@@ -21,9 +21,7 @@ use rand::{Rng, SeedableRng};
 /// The §6.3 exact-match criterion: same vertex/edge counts + one-way
 /// containment (which forces the injection to be an isomorphism).
 fn iso_by_subiso(a: &LabeledGraph, b: &LabeledGraph) -> bool {
-    a.vertex_count() == b.vertex_count()
-        && a.edge_count() == b.edge_count()
-        && Vf2.contains(a, b)
+    a.vertex_count() == b.vertex_count() && a.edge_count() == b.edge_count() && Vf2.contains(a, b)
 }
 
 fn permute(graph: &LabeledGraph, rng: &mut StdRng) -> LabeledGraph {

@@ -4,10 +4,10 @@
 //! experiment table.
 
 use gc_graph::generate::{bfs_extract, random_connected_graph, random_walk_extract};
-use gc_graph::LabeledGraph;
+use gc_graph::{BitSet, LabeledGraph};
 use gc_subiso::bruteforce::BruteForce;
 use gc_subiso::vf2::verify_embedding;
-use gc_subiso::{Algorithm, SubgraphMatcher};
+use gc_subiso::{filter, Algorithm, MethodM, QueryKind, SubgraphMatcher};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -91,6 +91,66 @@ proptest! {
                     "{} missed an extracted subgraph (seed {})", algo, seed
                 );
             }
+        }
+    }
+
+    /// The signature pre-filter is *sound*: whenever it rejects a
+    /// (pattern, target) pair, the brute-force oracle confirms
+    /// non-containment — so pre-filtering can never drop a true answer.
+    /// Dually, every oracle-positive pair passes the pre-filter.
+    #[test]
+    fn signature_prefilter_never_drops_a_true_answer(seed in 0u64..1500) {
+        let (pattern, target) = make_case(seed);
+        let feasible = filter::signature_may_contain(pattern.signature(), target.signature());
+        let truth = BruteForce.contains(&pattern, &target);
+        if !feasible {
+            prop_assert!(
+                !truth,
+                "pre-filter rejected a contained pair (seed {}):\nP={:?}\nT={:?}",
+                seed, &pattern, &target
+            );
+        }
+        if truth {
+            prop_assert!(feasible, "oracle-positive pair must pass the pre-filter");
+        }
+        // and the fuller degree-sequence tier stays sound too
+        if truth {
+            prop_assert!(filter::may_contain(&pattern, &target));
+        }
+    }
+
+    /// Method M's pre-filtered scan returns exactly the brute-force answer
+    /// set over a random candidate pool, for both query kinds — the
+    /// scan-level statement of pre-filter soundness.
+    #[test]
+    fn prefiltered_scan_matches_bruteforce_oracle(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37).wrapping_add(13));
+        let pool: Vec<LabeledGraph> = (0..12)
+            .map(|_| {
+                let n = rng.random_range(2..9usize);
+                let extra = rng.random_range(0..3usize);
+                random_connected_graph(&mut rng, n, extra, |r| r.random_range(0..3u16))
+            })
+            .collect();
+        let (query, _) = make_case(seed);
+        let cands = BitSet::from_indices(0..pool.len());
+        for kind in [QueryKind::Subgraph, QueryKind::Supergraph] {
+            let got = MethodM::new(Algorithm::Vf2Plus).run(&query, kind, &pool, &cands);
+            let expected: Vec<usize> = pool
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| match kind {
+                    QueryKind::Subgraph => BruteForce.contains(&query, g),
+                    QueryKind::Supergraph => BruteForce.contains(g, &query),
+                })
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert_eq!(
+                got.answer.iter_ones().collect::<Vec<_>>(),
+                expected,
+                "seed {} kind {:?}", seed, kind
+            );
+            prop_assert_eq!(got.tests, pool.len() as u64);
         }
     }
 

@@ -59,11 +59,8 @@ impl Workload {
     /// dedup). Zipf-selected streams repeat heavily; this quantifies the
     /// repetition the cache's exact-match optimal case can exploit.
     pub fn distinct_queries(&self) -> usize {
-        let mut keys: Vec<gc_graph::CanonicalForm> = self
-            .queries
-            .iter()
-            .map(gc_graph::canonical_form)
-            .collect();
+        let mut keys: Vec<gc_graph::CanonicalForm> =
+            self.queries.iter().map(gc_graph::canonical_form).collect();
         keys.sort_unstable();
         keys.dedup();
         keys.len()

@@ -124,7 +124,10 @@ impl TypeAConfig {
 /// terminates.
 pub fn generate_type_a(dataset: &[LabeledGraph], cfg: &TypeAConfig) -> Workload {
     assert!(!dataset.is_empty(), "Type A needs a non-empty dataset");
-    assert!(!cfg.sizes.is_empty(), "Type A needs at least one query size");
+    assert!(
+        !cfg.sizes.is_empty(),
+        "Type A needs at least one query size"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let graph_sampler = cfg.graph_dist.sampler(dataset.len());
 
@@ -195,7 +198,11 @@ mod tests {
         let w = generate_type_a(&data, &TypeAConfig::uu(50, 2));
         assert_eq!(w.len(), 50);
         for q in &w.queries {
-            assert!(PAPER_QUERY_SIZES.contains(&q.edge_count()), "{}", q.edge_count());
+            assert!(
+                PAPER_QUERY_SIZES.contains(&q.edge_count()),
+                "{}",
+                q.edge_count()
+            );
             assert!(q.is_connected());
         }
     }

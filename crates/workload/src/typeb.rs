@@ -146,7 +146,10 @@ fn draw_positive(
 /// Global label pool of the dataset (frequency-weighted, as "randomly
 /// selected labels from the dataset" implies).
 fn label_pool(dataset: &[LabeledGraph]) -> Vec<u16> {
-    dataset.iter().flat_map(|g| g.labels().iter().copied()).collect()
+    dataset
+        .iter()
+        .flat_map(|g| g.labels().iter().copied())
+        .collect()
 }
 
 /// Generates a Type B workload against the initial dataset.
@@ -206,10 +209,14 @@ pub fn generate_type_b(dataset: &[LabeledGraph], cfg: &TypeBConfig) -> Workload 
         let size_idx = rng.random_range(0..cfg.sizes.len());
         let use_noanswer = cfg.noanswer_prob > 0.0 && rng.random::<f64>() < cfg.noanswer_prob;
         let q = if use_noanswer && !noanswer_pools[size_idx].is_empty() {
-            let k = neg_zipf.sample(&mut rng).min(noanswer_pools[size_idx].len() - 1);
+            let k = neg_zipf
+                .sample(&mut rng)
+                .min(noanswer_pools[size_idx].len() - 1);
             noanswer_pools[size_idx][k].clone()
         } else {
-            let k = pos_zipf.sample(&mut rng).min(positive_pools[size_idx].len() - 1);
+            let k = pos_zipf
+                .sample(&mut rng)
+                .min(positive_pools[size_idx].len() - 1);
             positive_pools[size_idx][k].clone()
         };
         queries.push(q);

@@ -34,17 +34,23 @@ impl StaleCache {
         if let Some((_, a)) = self.memo.iter().find(|(g, _)| g == q) {
             let answer = a.clone();
             // ground truth for error accounting
-            let truth = self
-                .method
-                .run(q, QueryKind::Subgraph, &self.store, &self.store.live_bitset());
+            let truth = self.method.run(
+                q,
+                QueryKind::Subgraph,
+                &self.store,
+                &self.store.live_bitset(),
+            );
             if truth.answer != answer {
                 self.wrong += 1;
             }
             return answer;
         }
-        let r = self
-            .method
-            .run(q, QueryKind::Subgraph, &self.store, &self.store.live_bitset());
+        let r = self.method.run(
+            q,
+            QueryKind::Subgraph,
+            &self.store,
+            &self.store.live_bitset(),
+        );
         self.tests += r.tests;
         self.memo.push((q.clone(), r.answer.clone()));
         r.answer
@@ -111,9 +117,7 @@ fn main() {
     println!("|--------|---------------|-------------|---------------|");
     println!(
         "| STALE  | {:13} | {:11} | {:13} |",
-        stale.tests,
-        "-",
-        stale.wrong
+        stale.tests, "-", stale.wrong
     );
     println!(
         "| EVI    | {:13} | {:11} | {:13} |",

@@ -28,7 +28,7 @@ fn main() {
             dataset.clone(),
         );
         gc.execute(&query, QueryKind::Subgraph); // warm the cache
-        // oscillate an edge on 30 graphs — dataset ends bit-identical
+                                                 // oscillate an edge on 30 graphs — dataset ends bit-identical
         for id in 0..30usize {
             let g = gc.store().get(id).expect("live").clone();
             let first_edge = g.edges().next();

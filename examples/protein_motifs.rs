@@ -60,7 +60,9 @@ fn main() {
         );
     }
 
-    println!("\n== screening round 2: supergraph queries (which fragments fit in the scaffold?) ==");
+    println!(
+        "\n== screening round 2: supergraph queries (which fragments fit in the scaffold?) =="
+    );
     // fragment library: each compound trimmed to its first 6 edges
     for (i, m) in motifs.iter().enumerate().rev() {
         let out = gc.execute(m, QueryKind::Supergraph);
@@ -97,7 +99,10 @@ fn main() {
         for kind in [QueryKind::Subgraph, QueryKind::Supergraph] {
             let out = gc.execute(m, kind);
             let truth = baseline_execute(gc.store(), &oracle, m, kind);
-            assert_eq!(out.answer, truth.answer, "stale answer for motif {i} ({kind:?})");
+            assert_eq!(
+                out.answer, truth.answer,
+                "stale answer for motif {i} ({kind:?})"
+            );
             println!(
                 "motif {i} {:10}: {:3} answers, {:3} tests ({:3} saved) — exact ✓",
                 kind.name(),

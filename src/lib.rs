@@ -69,9 +69,7 @@ pub mod prelude {
     };
     pub use gc_graph::{BitSet, GraphSource, Label, LabeledGraph, VertexId, Zipf};
     pub use gc_subiso::{Algorithm, MethodM, QueryKind, SubgraphMatcher};
-    pub use gc_workload::{
-        generate_type_a, generate_type_b, TypeAConfig, TypeBConfig, Workload,
-    };
+    pub use gc_workload::{generate_type_a, generate_type_b, TypeAConfig, TypeBConfig, Workload};
 }
 
 #[cfg(test)]

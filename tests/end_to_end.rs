@@ -34,10 +34,7 @@ fn type_a_workload_replay_is_exact_under_churn() {
             gc.with_dataset(|store, log| exec.apply_due(i, store, log));
             let got = gc.execute(q, workload.kind);
             let truth = baseline_execute(gc.store(), &oracle, q, workload.kind);
-            assert_eq!(
-                got.answer, truth.answer,
-                "{model} diverged at query {i}"
-            );
+            assert_eq!(got.answer, truth.answer, "{model} diverged at query {i}");
         }
         // every Type A query matches at least one graph in the *initial*
         // dataset, and the cache must have saved something by the end
@@ -73,7 +70,10 @@ fn type_b_workload_replay_with_noanswer_queries() {
             empties += 1;
         }
     }
-    assert!(empties > 10, "50% workload should produce empty answers, got {empties}");
+    assert!(
+        empties > 10,
+        "50% workload should produce empty answers, got {empties}"
+    );
     // with heavy pool repetition the exact-match optimal case must fire
     assert!(gc.aggregate_metrics().exact_shortcuts > 0);
 }
@@ -129,7 +129,17 @@ fn dataset_io_roundtrip_through_store() {
     )
     .expect("extractable");
     let m = MethodM::new(Algorithm::GraphQl);
-    let a = m.run(&q, QueryKind::Subgraph, &dataset, &BitSet::from_indices(0..dataset.len()));
-    let b = m.run(&q, QueryKind::Subgraph, &reloaded, &BitSet::from_indices(0..reloaded.len()));
+    let a = m.run(
+        &q,
+        QueryKind::Subgraph,
+        &dataset,
+        &BitSet::from_indices(0..dataset.len()),
+    );
+    let b = m.run(
+        &q,
+        QueryKind::Subgraph,
+        &reloaded,
+        &BitSet::from_indices(0..reloaded.len()),
+    );
     assert_eq!(a, b);
 }

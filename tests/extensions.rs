@@ -19,8 +19,8 @@ fn extended_config() -> GcConfig {
 fn all_extensions_stacked_stay_exact() {
     let mut rng = StdRng::seed_from_u64(2024);
     let dataset = synthetic_aids(&AidsConfig::scaled(90, 77));
-    let mut sharded = ShardedGraphCache::new(extended_config(), dataset.clone(), 3)
-        .with_parallel_fanout(true);
+    let mut sharded =
+        ShardedGraphCache::new(extended_config(), dataset.clone(), 3).with_parallel_fanout(true);
     let mut flat_store = GraphStore::from_graphs(dataset.clone());
     let oracle = MethodM::new(Algorithm::Vf2);
 
@@ -69,7 +69,10 @@ fn all_extensions_stacked_stay_exact() {
         };
         let got = sharded.execute(&q, kind);
         let truth = baseline_execute(&flat_store, &oracle, &q, kind);
-        assert_eq!(got.answer, truth.answer, "divergence at step {step} ({kind:?})");
+        assert_eq!(
+            got.answer, truth.answer,
+            "divergence at step {step} ({kind:?})"
+        );
     }
 }
 
@@ -126,7 +129,10 @@ fn retro_preserves_exact_match_shortcuts_across_neutral_churn() {
                 gc.apply(ChangeOp::Ua { id, u, v }).unwrap();
             }
         }
-        gc.execute(&q, QueryKind::Subgraph).metrics.hits.exact_shortcut
+        gc.execute(&q, QueryKind::Subgraph)
+            .metrics
+            .hits
+            .exact_shortcut
     };
 
     assert!(
@@ -147,7 +153,10 @@ fn sharded_metrics_aggregate_sensibly() {
     let q = gc_graph::generate::bfs_extract(&mut rng, &dataset[0], 0, 4).expect("extractable");
 
     let out = sharded.execute(&q, QueryKind::Subgraph);
-    assert_eq!(out.metrics.candidate_size, 45, "all live graphs across shards");
+    assert_eq!(
+        out.metrics.candidate_size, 45,
+        "all live graphs across shards"
+    );
     assert_eq!(out.metrics.subiso_tests, 45, "cold caches test everything");
 
     let again = sharded.execute(&q, QueryKind::Subgraph);

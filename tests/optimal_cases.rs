@@ -39,10 +39,16 @@ fn exact_match_shortcut_lifecycle() {
     // but the refreshed twin restores it on the following repeat
     gc.apply(ChangeOp::Ur { id: 1, u: 2, v: 3 }).unwrap();
     let third = gc.execute(&q, QueryKind::Subgraph);
-    assert!(!third.metrics.hits.exact_shortcut, "stale twin must not shortcut");
+    assert!(
+        !third.metrics.hits.exact_shortcut,
+        "stale twin must not shortcut"
+    );
     assert_eq!(third.answer.iter_ones().collect::<Vec<_>>(), vec![0, 1]);
     let fourth = gc.execute(&q, QueryKind::Subgraph);
-    assert!(fourth.metrics.hits.exact_shortcut, "refreshed twin shortcuts again");
+    assert!(
+        fourth.metrics.hits.exact_shortcut,
+        "refreshed twin shortcuts again"
+    );
     assert_eq!(fourth.answer, third.answer);
 }
 
@@ -55,7 +61,10 @@ fn empty_answer_shortcut() {
     let probe = g(vec![1, 1, 1], &[(0, 1), (1, 2), (0, 2)]);
     let first = gc.execute(&probe, QueryKind::Subgraph);
     assert!(first.answer.is_empty());
-    assert_eq!(first.metrics.subiso_tests, 5, "cold cache: every live graph is tested");
+    assert_eq!(
+        first.metrics.subiso_tests, 5,
+        "cold cache: every live graph is tested"
+    );
 
     // any supergraph of the probe is provably empty — zero tests
     let bigger = g(vec![1, 1, 1, 0], &[(0, 1), (1, 2), (0, 2), (2, 3)]);
@@ -101,7 +110,11 @@ fn figure_3a_through_public_api() {
     assert_eq!(out.answer.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2]);
     assert!(out.metrics.hits.direct_hits >= 1);
     // 5 live graphs; 0 and 2 pruned by the hit → at most 3 tests
-    assert!(out.metrics.subiso_tests <= 3, "tests: {}", out.metrics.subiso_tests);
+    assert!(
+        out.metrics.subiso_tests <= 3,
+        "tests: {}",
+        out.metrics.subiso_tests
+    );
 }
 
 /// Figure 3(b) rebuilt end-to-end: a valid negative answer of a cached
@@ -120,7 +133,11 @@ fn figure_3b_through_public_api() {
     let out = gc.execute(&q, QueryKind::Subgraph);
     assert!(out.answer.is_empty());
     assert!(out.metrics.hits.exclusion_hits >= 1);
-    assert!(out.metrics.subiso_tests <= 1, "tests: {}", out.metrics.subiso_tests);
+    assert!(
+        out.metrics.subiso_tests <= 1,
+        "tests: {}",
+        out.metrics.subiso_tests
+    );
 }
 
 /// The supergraph-query duals of both §6.3 cases.

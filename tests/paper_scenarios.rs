@@ -41,7 +41,10 @@ fn figure_2_timeline() {
     // T3 — query g″ (single 7-vertex) executed, enters cache fresh
     let g_dprime = g(vec![7], &[]);
     let out3 = gc.execute(&g_dprime, QueryKind::Subgraph);
-    assert_eq!(out3.answer.iter_ones().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+    assert_eq!(
+        out3.answer.iter_ones().collect::<Vec<_>>(),
+        vec![1, 2, 3, 4]
+    );
 
     // T4 — DEL G0, UA on G1 (add an edge slot first: G1 has 2 vertices &
     // 1 edge → complete; instead UA on G2 which has a free slot)

@@ -1,0 +1,231 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A deliberately small wall-clock micro-benchmark harness exposing the API
+//! subset the workspace's benches use: `Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Bencher::{iter, iter_batched}`,
+//! `BenchmarkId`, `BatchSize`, and the `criterion_group!`/`criterion_main!`
+//! macros. No statistics engine — each benchmark is warmed up, then timed
+//! over an adaptive iteration count, and the mean time per iteration is
+//! printed.
+//!
+//! Knobs (environment variables / CLI args):
+//! * `--quick` arg or `CRITERION_QUICK=1` — cut measuring time ~6×, for CI
+//!   smoke runs;
+//! * `CRITERION_MEASURE_MS` — target measuring window per benchmark
+//!   (default 300 ms, quick 50 ms).
+
+use std::time::{Duration, Instant};
+
+/// Target measuring window.
+fn measure_window() -> Duration {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0");
+    let default_ms = if quick { 50 } else { 300 };
+    let ms = std::env::var("CRITERION_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_ms);
+    Duration::from_millis(ms)
+}
+
+/// Batch-size hint for `iter_batched` (accepted, not acted upon).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Times closures.
+pub struct Bencher {
+    window: Duration,
+    /// Mean time per iteration of the last run.
+    last_mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly for the measuring window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // warmup + calibration: find an iteration count filling the window
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let iters = (self.window.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.last_mean = start.elapsed() / iters as u32;
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        std::hint::black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let iters = (self.window.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            total += t.elapsed();
+        }
+        self.last_mean = total / iters as u32;
+    }
+}
+
+fn report(name: &str, mean: Duration) {
+    println!("{name:<50} time: [{mean:>12.3?}/iter]");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    window: Duration,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the adaptive window ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            window: self.window,
+            last_mean: Duration::ZERO,
+        };
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), b.last_mean);
+        self
+    }
+
+    /// Benchmarks `f` with a shared input under `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            window: self.window,
+            last_mean: Duration::ZERO,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), b.last_mean);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            window: measure_window(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let window = self.window;
+        BenchmarkGroup {
+            name: name.into(),
+            window,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            window: self.window,
+            last_mean: Duration::ZERO,
+        };
+        f(&mut b);
+        report(id, b.last_mean);
+        self
+    }
+}
+
+/// Re-export matching `criterion::black_box` (benches may use either this
+/// or `std::hint::black_box`).
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("count", |b| b.iter(|| (0..1000u32).sum::<u32>()));
+        group.bench_with_input(BenchmarkId::new("sum", 5), &5u32, |b, &n| {
+            b.iter_batched(|| n, |n| (0..n).sum::<u32>(), BatchSize::SmallInput)
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+    }
+}

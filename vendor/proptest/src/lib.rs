@@ -1,0 +1,176 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements exactly the subset the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`Strategy`] with `prop_map`, integer-range and tuple strategies,
+//! * [`prop_oneof!`] unions,
+//! * `prop::collection::{vec, hash_set}`,
+//! * `prop_assert!` / `prop_assert_eq!` (plain assertions here),
+//! * [`ProptestConfig::with_cases`].
+//!
+//! There is **no shrinking**: a failing case panics with its inputs in the
+//! assertion message, and every run is deterministic (the per-test RNG seed
+//! is derived from the test's name), so failures reproduce exactly. Case
+//! count defaults to 64 and can be raised via the `PROPTEST_CASES`
+//! environment variable.
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{Strategy, TestRng};
+
+/// Per-proptest-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic per-test case runner used by the [`proptest!`] expansion.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Creates a runner whose RNG seed is derived from the test name.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        // FNV-1a over the name: stable across runs and platforms
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRunner {
+            config,
+            rng: TestRng::from_seed(h),
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The case RNG (advances continuously across cases).
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig};
+
+    /// Namespace alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]`-attributed function running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $(
+        $(#[$attr:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::TestRunner::new(config, stringify!($name));
+            for __case in 0..runner.cases() {
+                $(let $arg = $crate::Strategy::generate(&$strat, runner.rng());)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Boolean property assertion (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality property assertion (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Union of strategies with uniform arm selection.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_and_maps_compose(x in 0u64..100, y in (0usize..10).prop_map(|v| v * 2)) {
+            prop_assert!(x < 100);
+            prop_assert!(y % 2 == 0 && y < 20);
+        }
+
+        #[test]
+        fn oneof_and_collections(v in prop::collection::vec(prop_oneof![0u32..5, 100u32..105], 0..20)) {
+            prop_assert!(v.len() < 20);
+            for e in v {
+                prop_assert!(e < 5 || (100..105).contains(&e));
+            }
+        }
+
+        #[test]
+        fn hash_sets_respect_domain(s in prop::collection::hash_set(0usize..50, 0..10)) {
+            prop_assert!(s.len() < 10);
+            prop_assert!(s.iter().all(|&e| e < 50));
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let mut a = crate::TestRunner::new(ProptestConfig::with_cases(4), "t");
+        let mut b = crate::TestRunner::new(ProptestConfig::with_cases(4), "t");
+        let sa = Strategy::generate(&(0u64..1000), a.rng());
+        let sb = Strategy::generate(&(0u64..1000), b.rng());
+        assert_eq!(sa, sb);
+    }
+}

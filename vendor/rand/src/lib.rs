@@ -1,0 +1,253 @@
+//! Offline stand-in for the `rand` crate (0.9-style API surface).
+//!
+//! The build environment for this workspace has no crates.io access, so the
+//! subset of `rand` the workspace actually uses is vendored here as a plain
+//! path dependency:
+//!
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator seeded via
+//!   SplitMix64 (`seed_from_u64`), statistically solid for the seeded
+//!   simulations and property tests in this repo;
+//! * the [`Rng`] extension trait with `random`, `random_bool` and
+//!   `random_range` (half-open and inclusive integer/float ranges);
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`seq::SliceRandom::shuffle`] (Fisher–Yates) and
+//!   [`seq::IndexedRandom::choose`].
+//!
+//! Everything is deterministic per seed, which the whole experiment harness
+//! depends on. The numeric streams differ from upstream `rand`, so seeds
+//! written against the real crate reproduce *a* valid run, not the same run.
+
+pub mod rngs;
+pub mod seq;
+
+/// Low-level entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types samplable uniformly over their whole domain (the `random::<T>()`
+/// family).
+pub trait UniformSample: Sized {
+    /// Draws one value from `rng`.
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl UniformSample for u8 {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl UniformSample for u16 {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl UniformSample for u64 {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl UniformSample for u32 {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl UniformSample for usize {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl UniformSample for bool {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // highest bit: xoshiro's strongest bits are the upper ones
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl UniformSample for f64 {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // uniform in [0, 1) with 53 bits of precision
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl UniformSample for f32 {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// A range usable with [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range. Panics on empty ranges.
+    fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform integer in `[0, n)` without modulo bias (Lemire's method).
+#[inline]
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    // widening multiply; the tiny residual bias (< 2^-64 per draw) is far
+    // below anything the seeded tests can observe
+    ((rng.next_u64() as u128 * n as u128) >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // full-domain inclusive range
+                    return <$t as UniformSample>::sample_from(rng);
+                }
+                lo + uniform_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = ((hi as $u).wrapping_sub(lo as $u) as u64).wrapping_add(1);
+                if span == 0 {
+                    // full-domain inclusive range: take the raw bits
+                    return uniform_below(rng, u64::MAX) as $t;
+                }
+                lo.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i32 => u32, i64 => u64);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + (self.end - self.start) * f64::sample_from(rng)
+    }
+}
+
+/// The user-facing random-value API, blanket-implemented over every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a uniform value over `T`'s whole domain (`f64`/`f32`: `[0,1)`).
+    fn random<T: UniformSample>(&mut self) -> T {
+        T::sample_from(self)
+    }
+
+    /// Draws uniformly from `range`; panics if the range is empty.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_range(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::sample_from(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Constructible from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u32 = rng.random_range(4..=5);
+            assert!((4..=5).contains(&y));
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn uniformity_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 10];
+        let draws = 100_000;
+        for _ in 0..draws {
+            counts[rng.random_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            let expected = draws as f64 / 10.0;
+            assert!((c as f64 - expected).abs() < expected * 0.05, "count {c}");
+        }
+        // mean of f64 draws ~ 0.5
+        let mean: f64 = (0..draws).map(|_| rng.random::<f64>()).sum::<f64>() / draws as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn bools_are_balanced() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let trues = (0..100_000).filter(|_| rng.random::<bool>()).count();
+        assert!((45_000..55_000).contains(&trues), "trues {trues}");
+        let biased = (0..100_000).filter(|_| rng.random_bool(0.2)).count();
+        assert!((18_000..22_000).contains(&biased), "biased {biased}");
+    }
+}
