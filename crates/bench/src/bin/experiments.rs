@@ -16,7 +16,12 @@
 //!                CSR+prefilter vs CSR+prefilter+parallel; writes
 //!                BENCH_subiso.json (use --quick for a CI smoke run,
 //!                --out PATH to redirect the artifact)
-//!   all          everything above (except bench-subiso)
+//!   chaos        fault-injection suite: replays every workload under a
+//!                deterministic fault plan (override with GC_FAULT_PLAN)
+//!                against a fault-free oracle; writes CHAOS_report.json
+//!                and exits non-zero on silent divergence, deadline
+//!                overrun > 2x, or leftover quarantined entries
+//!   all          everything above (except bench-subiso and chaos)
 //! ```
 
 use std::time::Instant;
@@ -31,7 +36,7 @@ use gc_subiso::Algorithm;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <fig4-typea|fig4-typeb|fig5|fig6|insights|dataset|ablation|bench-subiso|all> \
+        "usage: experiments <fig4-typea|fig4-typeb|fig5|fig6|insights|dataset|ablation|bench-subiso|chaos|all> \
          [--scale small|medium|paper] [--quick] [--out PATH]"
     );
     std::process::exit(2);
@@ -43,7 +48,7 @@ fn main() {
         usage();
     }
     let command = args[0].clone();
-    const COMMANDS: [&str; 9] = [
+    const COMMANDS: [&str; 10] = [
         "fig4-typea",
         "fig4-typeb",
         "fig5",
@@ -52,6 +57,7 @@ fn main() {
         "dataset",
         "ablation",
         "bench-subiso",
+        "chaos",
         "all",
     ];
     if !COMMANDS.contains(&command.as_str()) {
@@ -60,7 +66,11 @@ fn main() {
     }
     let mut scale = Scale::medium();
     let mut quick = false;
-    let mut out_path = String::from("BENCH_subiso.json");
+    let mut out_path = String::from(if command == "chaos" {
+        "CHAOS_report.json"
+    } else {
+        "BENCH_subiso.json"
+    });
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -87,6 +97,10 @@ fn main() {
 
     if command == "bench-subiso" {
         bench_subiso(quick, &out_path);
+        return;
+    }
+    if command == "chaos" {
+        chaos(scale, &out_path);
         return;
     }
 
@@ -165,6 +179,71 @@ fn bench_subiso(quick: bool, out_path: &str) {
         std::process::exit(1);
     }
     println!("wrote {out_path}");
+}
+
+fn chaos(scale: Scale, out_path: &str) {
+    let mut cfg = gc_bench::ChaosConfig::new(scale);
+    match gc_core::FaultPlan::from_env() {
+        Ok(Some(plan)) => cfg.fault_plan = plan,
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("invalid GC_FAULT_PLAN: {e}");
+            std::process::exit(2);
+        }
+    }
+    println!(
+        "# Chaos suite — {} graphs, {} queries/workload, deadline {} ms\nfault plan: {}\n",
+        cfg.scale.dataset_graphs,
+        cfg.scale.num_queries,
+        cfg.deadline.as_millis(),
+        cfg.fault_plan
+    );
+    let t0 = Instant::now();
+    let report = gc_bench::run_chaos(&cfg);
+    let mut t = Table::new(
+        "Chaos verdicts: faulted GC+ vs fault-free oracle",
+        &[
+            "workload",
+            "queries",
+            "updates",
+            "exact",
+            "degraded",
+            "divergent",
+            "max deadline ratio",
+            "panics contained",
+            "audit repairs",
+            "quarantined at end",
+            "verdict",
+        ],
+    );
+    for c in &report.cells {
+        t.row(vec![
+            c.workload.clone(),
+            c.queries.to_string(),
+            c.updates.to_string(),
+            c.exact.to_string(),
+            c.degraded.to_string(),
+            c.divergent.to_string(),
+            f2(c.max_overrun),
+            c.panics_recovered.to_string(),
+            c.audit_total.repaired.to_string(),
+            c.quarantined_final.to_string(),
+            if c.passed() { "ok" } else { "FAIL" }.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("wall time: {:.1}s", t0.elapsed().as_secs_f64());
+    if let Err(e) = std::fs::write(out_path, report.to_json()) {
+        eprintln!("cannot write chaos artifact '{out_path}': {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+    if !report.passed() {
+        eprintln!(
+            "chaos suite FAILED: silent divergence, deadline overrun, or leftover quarantine"
+        );
+        std::process::exit(1);
+    }
 }
 
 fn dataset_stats(dataset: &[gc_graph::LabeledGraph]) {

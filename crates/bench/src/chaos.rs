@@ -1,0 +1,454 @@
+//! The chaos harness — fault-tolerant execution, empirically enforced.
+//!
+//! [`run_chaos`] replays the paper's Type A and Type B workloads under a
+//! deterministic [`FaultPlan`] (injected update/query panics, delays and
+//! silent answer-set corruption) while a fault-free oracle instance runs
+//! the identical query/change stream. Three properties are checked, query
+//! by query:
+//!
+//! 1. **no silent divergence** — every answer either equals the oracle's
+//!    or is explicitly tagged degraded (and even then must be a sound
+//!    subset of the oracle answer);
+//! 2. **bounded deadlines** — no query may overrun its wall-clock budget
+//!    by more than 2× (one retry after a contained panic is the worst
+//!    legitimate case);
+//! 3. **quarantine drains** — after the final auditor pass, zero entries
+//!    remain quarantined.
+//!
+//! The driver is fully seeded: the same scale + fault plan replays the
+//! same faults at the same points in the same streams. The `experiments
+//! chaos` CLI command wraps this module and emits `CHAOS_report.json`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gc_core::{AuditReport, FaultInjector, FaultPlan, GcConfig, GraphCachePlus, QueryBudget};
+use gc_dataset::{ChangeOp, ChangePlan, GraphStore, OpType};
+use gc_graph::LabeledGraph;
+use gc_workload::Workload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{build_dataset, build_plan, build_type_a_workloads, build_type_b_workloads, Scale};
+
+/// Knobs of one chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Dataset/workload scale (chaos runs default to [`Scale::small`]).
+    pub scale: Scale,
+    /// The faults to inject into every workload replay.
+    pub fault_plan: FaultPlan,
+    /// Per-query wall-clock deadline on the faulted instance.
+    pub deadline: Duration,
+    /// Auditor sampling rate after each update burst (quarantined entries
+    /// are always audited regardless).
+    pub audit_rate: f64,
+}
+
+impl ChaosConfig {
+    /// Default chaos setup for a scale: the built-in fault plan, a 250 ms
+    /// deadline and full-rate audits.
+    pub fn new(scale: Scale) -> ChaosConfig {
+        ChaosConfig {
+            scale,
+            fault_plan: default_fault_plan(),
+            deadline: Duration::from_millis(250),
+            audit_rate: 1.0,
+        }
+    }
+}
+
+/// The built-in fault plan: one update panic, two query panics, one
+/// injected delay and two silent corruptions — every fault category,
+/// early enough to fire at any scale.
+pub fn default_fault_plan() -> FaultPlan {
+    "panic-update@2;corrupt@4:0;panic-query@5;delay-query@9:40;panic-query@23;corrupt@11:3"
+        .parse()
+        .expect("built-in fault plan parses")
+}
+
+/// Per-workload chaos verdict.
+#[derive(Debug, Clone)]
+pub struct ChaosCell {
+    /// Workload name (ZZ / ZU / UU / 0% / 20% / 50%).
+    pub workload: String,
+    /// Queries replayed.
+    pub queries: usize,
+    /// Dataset updates applied through the panic boundary.
+    pub updates: usize,
+    /// Queries whose answer equaled the oracle's exactly.
+    pub exact: usize,
+    /// Queries that returned an explicitly degraded (sound partial)
+    /// outcome.
+    pub degraded: usize,
+    /// Silently wrong answers — untagged mismatches, or degraded answers
+    /// that were not a subset of the oracle's. Must be zero.
+    pub divergent: usize,
+    /// Worst observed `elapsed / deadline` ratio across all queries.
+    pub max_overrun: f64,
+    /// Auditor passes run (one per update burst plus the final sweep).
+    pub audits: usize,
+    /// Auditor activity summed over all passes.
+    pub audit_total: AuditReport,
+    /// Entries still quarantined after the final audit. Must be zero.
+    pub quarantined_final: usize,
+    /// Panics contained by the isolation boundaries.
+    pub panics_recovered: u64,
+}
+
+impl ChaosCell {
+    /// Did this workload satisfy all three chaos invariants?
+    pub fn passed(&self) -> bool {
+        self.divergent == 0 && self.max_overrun <= 2.0 && self.quarantined_final == 0
+    }
+}
+
+/// Aggregated result of one [`run_chaos`] invocation.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// The injected plan, in its compact string form.
+    pub fault_plan: String,
+    /// The per-query deadline, milliseconds.
+    pub deadline_ms: u64,
+    /// One verdict per workload.
+    pub cells: Vec<ChaosCell>,
+}
+
+impl ChaosReport {
+    /// `true` iff every workload passed all three invariants.
+    pub fn passed(&self) -> bool {
+        self.cells.iter().all(ChaosCell::passed)
+    }
+
+    /// Hand-rolled JSON (the artifact uploaded by CI's chaos smoke job).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"fault_plan\": \"{}\",\n", self.fault_plan));
+        out.push_str(&format!("  \"deadline_ms\": {},\n", self.deadline_ms));
+        out.push_str(&format!("  \"passed\": {},\n", self.passed()));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"queries\": {}, \"updates\": {}, \
+                 \"exact\": {}, \"degraded\": {}, \"divergent\": {}, \
+                 \"max_overrun\": {:.4}, \"panics_recovered\": {}, \
+                 \"audits\": {}, \"audit_sampled\": {}, \"audit_repaired\": {}, \
+                 \"audit_evicted\": {}, \"quarantined_final\": {}}}{}\n",
+                c.workload,
+                c.queries,
+                c.updates,
+                c.exact,
+                c.degraded,
+                c.divergent,
+                c.max_overrun,
+                c.panics_recovered,
+                c.audits,
+                c.audit_total.sampled,
+                c.audit_total.repaired,
+                c.audit_total.evicted,
+                c.quarantined_final,
+                if i + 1 == self.cells.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Runs the full chaos suite: all six paper workloads, each replayed under
+/// the configured fault plan against a fault-free oracle.
+pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
+    let dataset = build_dataset(&cfg.scale);
+    let plan = build_plan(&cfg.scale);
+    let mut workloads = build_type_a_workloads(&dataset, &cfg.scale);
+    workloads.extend(build_type_b_workloads(&dataset, &cfg.scale));
+    let cells = with_quiet_panics(|| {
+        workloads
+            .iter()
+            .map(|w| run_chaos_cell(&dataset, w, &plan, cfg))
+            .collect()
+    });
+    ChaosReport {
+        fault_plan: cfg.fault_plan.to_string(),
+        deadline_ms: cfg.deadline.as_millis() as u64,
+        cells,
+    }
+}
+
+/// Replays one workload under the fault plan, comparing every answer
+/// against a fault-free oracle instance fed the identical change stream.
+pub fn run_chaos_cell(
+    dataset: &[LabeledGraph],
+    workload: &Workload,
+    plan: &ChangePlan,
+    cfg: &ChaosConfig,
+) -> ChaosCell {
+    // A small cache keeps full-rate audits affordable; the faulted side
+    // additionally runs under the wall-clock deadline.
+    let faulted_config = GcConfig {
+        cache_capacity: 48,
+        window_capacity: 8,
+        budget: QueryBudget {
+            deadline: Some(cfg.deadline),
+            max_tests: None,
+        },
+        ..GcConfig::default()
+    };
+    let oracle_config = GcConfig {
+        budget: QueryBudget::UNLIMITED,
+        ..faulted_config
+    };
+    let mut faulted = GraphCachePlus::new(faulted_config, dataset.to_vec());
+    faulted.set_fault_injector(Arc::new(FaultInjector::new(cfg.fault_plan.clone())));
+    let mut oracle = GraphCachePlus::new(oracle_config, dataset.to_vec());
+
+    // Change materialization is seeded separately from the fault plan so
+    // both instances see the exact same concrete operations.
+    let mut rng = StdRng::seed_from_u64(cfg.scale.seed ^ 0xC4A0_5CA0);
+    let mut next_batch = 0usize;
+
+    let mut cell = ChaosCell {
+        workload: workload.name.clone(),
+        queries: workload.len(),
+        updates: 0,
+        exact: 0,
+        degraded: 0,
+        divergent: 0,
+        max_overrun: 0.0,
+        audits: 0,
+        audit_total: AuditReport::default(),
+        quarantined_final: 0,
+        panics_recovered: 0,
+    };
+
+    for (i, q) in workload.queries.iter().enumerate() {
+        // ---- fire due change batches through the panic boundary ----
+        let mut burst = 0usize;
+        while next_batch < plan.batches.len() && plan.batches[next_batch].at_query <= i {
+            for planned in &plan.batches[next_batch].ops {
+                if let Some(op) = materialize_op(&mut rng, faulted.store(), dataset, planned.op) {
+                    let f = faulted.apply_isolated(op.clone());
+                    let o = oracle.apply(op);
+                    debug_assert_eq!(f.is_ok(), o.is_ok(), "materialized op valid on both");
+                    burst += 1;
+                }
+            }
+            next_batch += 1;
+        }
+        // ---- audit after each burst: silent corruption lands on the
+        //      update path and must be caught before queries can see it ----
+        if burst > 0 {
+            cell.updates += burst;
+            cell.audits += 1;
+            add_audit(
+                &mut cell.audit_total,
+                faulted.audit(cfg.audit_rate, cfg.scale.seed + i as u64),
+            );
+        }
+        // ---- one query on each instance, faulted side under deadline ----
+        let t = Instant::now();
+        let out = faulted.execute_isolated(q, workload.kind);
+        let elapsed = t.elapsed();
+        let truth = oracle.execute(q, workload.kind);
+        let overrun = elapsed.as_secs_f64() / cfg.deadline.as_secs_f64();
+        cell.max_overrun = cell.max_overrun.max(overrun);
+        if out.metrics.degraded.is_some() {
+            // a degraded partial may miss answers but must never invent one
+            if out.answer.is_subset_of(&truth.answer) {
+                cell.degraded += 1;
+            } else {
+                cell.divergent += 1;
+            }
+        } else if out.answer == truth.answer {
+            cell.exact += 1;
+        } else {
+            cell.divergent += 1;
+        }
+    }
+
+    // ---- final sweep: late faults may have left quarantined entries ----
+    cell.audits += 1;
+    add_audit(
+        &mut cell.audit_total,
+        faulted.audit(cfg.audit_rate, cfg.scale.seed),
+    );
+    cell.quarantined_final = faulted.quarantined_entries();
+    cell.panics_recovered = faulted.health_snapshot().panics_recovered;
+    cell
+}
+
+/// Materializes one planned op against the current store state, paralleling
+/// `PlanExecutor` but *returning* the concrete [`ChangeOp`] so the same
+/// operation can be applied to both the faulted and the oracle instance
+/// (and retried after a contained panic). `None` when the category cannot
+/// fire (e.g. UR on an edgeless dataset).
+fn materialize_op(
+    rng: &mut StdRng,
+    store: &GraphStore,
+    initial: &[LabeledGraph],
+    op: OpType,
+) -> Option<ChangeOp> {
+    match op {
+        OpType::Add => {
+            if initial.is_empty() {
+                return None;
+            }
+            Some(ChangeOp::Add(
+                initial[rng.random_range(0..initial.len())].clone(),
+            ))
+        }
+        OpType::Del => pick_live(rng, store, |_| true).map(ChangeOp::Del),
+        OpType::Ua => {
+            let id = pick_live(rng, store, |g| {
+                let n = g.vertex_count();
+                n >= 2 && g.edge_count() < n * (n - 1) / 2
+            })?;
+            let g = store.get(id).expect("picked live");
+            let n = g.vertex_count() as u32;
+            loop {
+                let u = rng.random_range(0..n);
+                let v = rng.random_range(0..n);
+                if u != v && !g.has_edge(u, v) {
+                    return Some(ChangeOp::Ua { id, u, v });
+                }
+            }
+        }
+        OpType::Ur => {
+            let id = pick_live(rng, store, |g| g.edge_count() > 0)?;
+            let g = store.get(id).expect("picked live");
+            let edges: Vec<_> = g.edges().collect();
+            let (u, v) = edges[rng.random_range(0..edges.len())];
+            Some(ChangeOp::Ur { id, u, v })
+        }
+    }
+}
+
+/// Uniform live-graph pick with bounded rejection sampling and an
+/// exhaustive fallback (mirrors `PlanExecutor`'s selection recipe).
+fn pick_live(
+    rng: &mut StdRng,
+    store: &GraphStore,
+    pred: impl Fn(&LabeledGraph) -> bool,
+) -> Option<usize> {
+    let span = store.id_span();
+    if span == 0 || store.live_count() == 0 {
+        return None;
+    }
+    for _ in 0..64 {
+        let id = rng.random_range(0..span);
+        if let Some(g) = store.get(id) {
+            if pred(g) {
+                return Some(id);
+            }
+        }
+    }
+    let candidates: Vec<usize> = store
+        .iter_live()
+        .filter(|(_, g)| pred(g))
+        .map(|(i, _)| i)
+        .collect();
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(candidates[rng.random_range(0..candidates.len())])
+    }
+}
+
+fn add_audit(total: &mut AuditReport, pass: AuditReport) {
+    total.sampled += pass.sampled;
+    total.clean += pass.clean;
+    total.repaired += pass.repaired;
+    total.evicted += pass.evicted;
+}
+
+/// Runs `f` with the default panic hook silenced — injected faults are
+/// *supposed* to panic, and dozens of backtrace banners would drown the
+/// report. The hook is global, so the previous one is restored afterwards.
+fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = f();
+    std::panic::set_hook(prev);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_chaos_config() -> ChaosConfig {
+        ChaosConfig::new(Scale {
+            dataset_graphs: 40,
+            num_queries: 60,
+            positive_pool: 20,
+            noanswer_pool: 10,
+            seed: 0xC405,
+        })
+    }
+
+    #[test]
+    fn chaos_suite_passes_under_builtin_faults() {
+        let cfg = tiny_chaos_config();
+        let report = run_chaos(&cfg);
+        assert_eq!(report.cells.len(), 6, "three Type A + three Type B");
+        for c in &report.cells {
+            assert_eq!(c.divergent, 0, "silent divergence in {}", c.workload);
+            assert_eq!(c.quarantined_final, 0, "quarantine left in {}", c.workload);
+            assert!(c.max_overrun <= 2.0, "deadline overrun in {}", c.workload);
+            assert_eq!(c.queries, 60);
+        }
+        assert!(report.passed());
+        // the plan's panics actually fired somewhere in the suite
+        let panics: u64 = report.cells.iter().map(|c| c.panics_recovered).sum();
+        assert!(panics > 0, "fault plan injected no panics");
+        // the auditor actually repaired the injected corruption
+        let repaired: usize = report.cells.iter().map(|c| c.audit_total.repaired).sum();
+        assert!(repaired > 0, "injected corruption was never caught");
+    }
+
+    #[test]
+    fn fault_free_plan_is_all_exact() {
+        let mut cfg = tiny_chaos_config();
+        cfg.fault_plan = FaultPlan::none();
+        let dataset = build_dataset(&cfg.scale);
+        let plan = build_plan(&cfg.scale);
+        let w = &build_type_a_workloads(&dataset, &cfg.scale)[0];
+        let cell = run_chaos_cell(&dataset, w, &plan, &cfg);
+        assert_eq!(cell.divergent, 0);
+        assert_eq!(cell.panics_recovered, 0);
+        assert_eq!(cell.exact + cell.degraded, cell.queries);
+        assert!(cell.passed());
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let report = ChaosReport {
+            fault_plan: "panic-query@1".into(),
+            deadline_ms: 250,
+            cells: vec![ChaosCell {
+                workload: "ZZ".into(),
+                queries: 10,
+                updates: 4,
+                exact: 9,
+                degraded: 1,
+                divergent: 0,
+                max_overrun: 0.5,
+                audits: 2,
+                audit_total: AuditReport {
+                    sampled: 8,
+                    clean: 7,
+                    repaired: 1,
+                    evicted: 0,
+                },
+                quarantined_final: 0,
+                panics_recovered: 1,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"passed\": true"));
+        assert!(json.contains("\"workload\": \"ZZ\""));
+        assert!(json.contains("\"audit_repaired\": 1"));
+        assert!(!json.contains(",\n  ]"), "no trailing comma");
+    }
+}

@@ -18,6 +18,7 @@
 //! hours of compute, exactly the published setup). All randomness is
 //! seeded; identical configurations replay identical experiments.
 
+pub mod chaos;
 pub mod report;
 pub mod subiso_bench;
 
@@ -28,6 +29,7 @@ use gc_graph::LabeledGraph;
 use gc_subiso::{Algorithm, MethodM};
 use gc_workload::{generate_type_a, generate_type_b, TypeAConfig, TypeBConfig, Workload};
 
+pub use chaos::{run_chaos, ChaosCell, ChaosConfig, ChaosReport};
 pub use report::Table;
 pub use subiso_bench::{run_subiso_bench, SubisoBenchResult};
 

@@ -71,6 +71,22 @@ impl CacheManager {
         self.entries.clear();
     }
 
+    /// Number of entries currently under quarantine.
+    pub fn quarantined_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.quarantined).count()
+    }
+
+    /// Drops every entry matching `pred` (order-preserving) and returns
+    /// how many were removed — the auditor's eviction primitive. Removals
+    /// count as evictions for the experiment harness.
+    pub fn evict_where(&mut self, mut pred: impl FnMut(&CachedQuery) -> bool) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| !pred(e));
+        let removed = before - self.entries.len();
+        self.evictions += removed as u64;
+        removed
+    }
+
     /// Merges a window batch, evicting down to capacity afterwards.
     /// Returns the number of entries evicted.
     pub fn admit_batch(&mut self, batch: Vec<CachedQuery>) -> usize {
@@ -148,6 +164,20 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.iter().count(), 0);
+    }
+
+    #[test]
+    fn quarantine_bookkeeping_and_targeted_eviction() {
+        let mut c = CacheManager::new(5, Policy::Pin);
+        c.admit_batch(vec![entry(1), entry(2), entry(3)]);
+        assert_eq!(c.quarantined_count(), 0);
+        c.get_mut(1).unwrap().quarantined = true;
+        assert_eq!(c.quarantined_count(), 1);
+        let removed = c.evict_where(|e| e.quarantined);
+        assert_eq!(removed, 1);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.quarantined_count(), 0);
+        assert_eq!(c.evictions(), 1);
     }
 
     #[test]

@@ -37,9 +37,32 @@ impl ConcurrentGraphCache {
         self.lock().execute(query, kind)
     }
 
+    /// Executes a query behind the panic boundary
+    /// ([`GraphCachePlus::execute_isolated`]); combined with the poisoned-
+    /// lock recovery below, one panicking client cannot wedge the others.
+    pub fn execute_isolated(&self, query: &LabeledGraph, kind: QueryKind) -> QueryOutcome {
+        self.lock().execute_isolated(query, kind)
+    }
+
     /// Applies a dataset change.
     pub fn apply(&self, op: ChangeOp) -> Result<GraphId, DatasetError> {
         self.lock().apply(op)
+    }
+
+    /// Applies a dataset change behind the panic boundary
+    /// ([`GraphCachePlus::apply_isolated`]).
+    pub fn apply_isolated(&self, op: ChangeOp) -> Result<GraphId, DatasetError> {
+        self.lock().apply_isolated(op)
+    }
+
+    /// Runs the consistency auditor (repair mode).
+    pub fn audit(&self, sample_rate: f64, seed: u64) -> crate::system::AuditReport {
+        self.lock().audit(sample_rate, seed)
+    }
+
+    /// Snapshot of the fault-tolerance counters.
+    pub fn health_snapshot(&self) -> crate::fault::HealthSnapshot {
+        self.lock().health_snapshot()
     }
 
     /// Snapshot of the aggregate metrics.

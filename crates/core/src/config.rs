@@ -8,6 +8,18 @@
 
 use gc_subiso::{Algorithm, MethodM};
 
+use crate::fault::QueryBudget;
+
+/// Parallelism to use when none is configured explicitly: the machine's
+/// available hardware concurrency, `1` when it cannot be determined.
+/// Scan/probe results are merged in index order, so answers and test
+/// counts are identical at any setting — only wall time changes.
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// The GC+ cache-consistency models: the paper's two (§5) plus the
 /// retrospective extension it sketches as future work (§8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -104,6 +116,11 @@ pub struct GcConfig {
     /// hit lists and metrics are identical at any setting; worth raising
     /// only when the cache+window population carries large query graphs.
     pub probe_parallelism: usize,
+    /// Per-query execution budget (wall-clock deadline / sub-iso test
+    /// cap). Unlimited by default — the paper's measurement setting.
+    /// Queries that exhaust the budget return an explicitly
+    /// `degraded`-tagged sound partial answer instead of blocking.
+    pub budget: QueryBudget,
 }
 
 impl Default for GcConfig {
@@ -113,20 +130,25 @@ impl Default for GcConfig {
             window_capacity: 20,
             model: CacheModel::Con,
             policy: Policy::Hybrid,
-            method: MethodM::new(Algorithm::Vf2),
+            method: MethodM::parallel(Algorithm::Vf2, default_parallelism()),
             internal_matcher: Algorithm::Vf2Plus,
             use_ftv_filter: false,
-            probe_parallelism: 1,
+            probe_parallelism: default_parallelism(),
+            budget: QueryBudget::UNLIMITED,
         }
     }
 }
 
 impl GcConfig {
-    /// Paper defaults with the given Method M algorithm and model.
+    /// Paper defaults with the given Method M algorithm and model. Unlike
+    /// [`GcConfig::default`], this pins every scan to a single thread —
+    /// the paper's measurement setting, kept sequential so experiment
+    /// timings stay comparable across machines.
     pub fn paper(method: Algorithm, model: CacheModel) -> Self {
         GcConfig {
             model,
             method: MethodM::new(method),
+            probe_parallelism: 1,
             ..GcConfig::default()
         }
     }
@@ -143,8 +165,21 @@ mod tests {
         assert_eq!(c.window_capacity, 20);
         assert_eq!(c.model, CacheModel::Con);
         assert_eq!(c.policy, Policy::Hybrid);
-        assert_eq!(c.probe_parallelism, 1);
+        assert!(c.budget.is_unlimited(), "no deadline unless asked for");
         assert!(c.method.prefilter, "Method M pre-filter defaults on");
+    }
+
+    #[test]
+    fn default_parallelism_tracks_the_machine() {
+        let n = default_parallelism();
+        assert!(n >= 1);
+        let c = GcConfig::default();
+        assert_eq!(c.probe_parallelism, n);
+        assert_eq!(c.method.parallelism, n);
+        // the paper constructor stays sequential for comparable timings
+        let p = GcConfig::paper(Algorithm::Vf2, CacheModel::Con);
+        assert_eq!(p.probe_parallelism, 1);
+        assert_eq!(p.method.parallelism, 1);
     }
 
     #[test]

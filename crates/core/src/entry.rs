@@ -47,6 +47,10 @@ pub struct CachedQuery {
     /// Up-to-date validity indicator: bit `i` set ⟺ the cached relation
     /// towards dataset graph `i` still holds (Algorithm 2).
     pub cg_valid: BitSet,
+    /// `true` while the entry is under suspicion (a panic was contained in
+    /// a query that touched it). Quarantined entries contribute no hits
+    /// until the consistency auditor re-verifies or rebuilds them.
+    pub quarantined: bool,
     /// Replacement statistics.
     pub stats: EntryStats,
 }
@@ -70,6 +74,7 @@ impl CachedQuery {
             kind,
             answer,
             cg_valid: BitSet::all_set(id_span),
+            quarantined: false,
             stats: EntryStats {
                 inserted_at: now,
                 last_used: now,

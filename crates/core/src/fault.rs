@@ -1,0 +1,453 @@
+//! Fault tolerance: query budgets, deterministic fault injection, and
+//! runtime health counters.
+//!
+//! The cache's correctness story (Theorems 3/6) assumes every pipeline
+//! stage runs to completion. This module supplies the pieces that keep the
+//! runtime *operational* when that assumption breaks:
+//!
+//! * [`QueryBudget`] — per-query wall-clock deadline and sub-iso test cap,
+//!   materialized into a [`CancelToken`] threaded through the `gc_subiso`
+//!   kernels. An exhausted budget degrades the query (explicitly tagged in
+//!   its metrics) instead of wedging it;
+//! * [`FaultPlan`] / [`FaultInjector`] — *deterministic*, seedable fault
+//!   injection (panic at the K-th update or query, delay a query, silently
+//!   corrupt a cached answer set) so failure handling is reproducible in
+//!   tests and the `experiments chaos` driver. Plans parse from a compact
+//!   string and from the `GC_FAULT_PLAN` environment variable;
+//! * [`RuntimeHealth`] — lock-free counters (`AtomicU64`) for recovered
+//!   panics, quarantined entries, degraded queries and auditor activity,
+//!   shared across threads via `Arc`.
+//!
+//! Injection points live in `gc_core::system`; nothing in this module
+//! panics unless a plan says so.
+
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use gc_subiso::CancelToken;
+
+/// Per-query execution budget. `Default` is unlimited — the paper's
+/// measurement setting, where queries must run to completion.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryBudget {
+    /// Wall-clock deadline per query, measured from query arrival.
+    pub deadline: Option<Duration>,
+    /// Cap on sub-iso tests charged per query (Method M candidates).
+    pub max_tests: Option<u64>,
+}
+
+impl QueryBudget {
+    /// An unlimited budget.
+    pub const UNLIMITED: QueryBudget = QueryBudget {
+        deadline: None,
+        max_tests: None,
+    };
+
+    /// Does this budget ever interrupt anything?
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_tests.is_none()
+    }
+
+    /// Materializes the budget into a fresh token; the deadline clock
+    /// starts now.
+    pub fn token(&self) -> CancelToken {
+        CancelToken::new(self.deadline.map(|d| Instant::now() + d), self.max_tests)
+    }
+}
+
+/// One injectable fault. Counters are 1-based: `nth: 3` fires on the third
+/// update/query observed by the injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic when the `nth` dataset update arrives (before any mutation,
+    /// so a retry starts from clean state).
+    PanicOnUpdate {
+        /// 1-based update ordinal.
+        nth: u64,
+    },
+    /// Panic when the `nth` query arrives (before the pipeline runs).
+    PanicOnQuery {
+        /// 1-based query ordinal.
+        nth: u64,
+    },
+    /// Sleep before executing the `nth` query — models a stalled shard or
+    /// a slow storage tier, exercising deadline handling.
+    DelayQuery {
+        /// 1-based query ordinal.
+        nth: u64,
+        /// Sleep duration in milliseconds.
+        millis: u64,
+    },
+    /// After the `nth` update completes, silently flip answer bit
+    /// `graph_id` in one cached entry — the corruption the consistency
+    /// auditor exists to catch.
+    CorruptEntry {
+        /// 1-based update ordinal after which the corruption lands.
+        after_update: u64,
+        /// Dataset-graph id whose answer bit is flipped.
+        graph_id: usize,
+    },
+}
+
+/// A deterministic set of faults. Parse with [`FromStr`]:
+///
+/// ```text
+/// panic-update@5;panic-query@12;delay-query@3:50;corrupt@8:2
+/// ```
+///
+/// means: panic on the 5th update, panic on the 12th query, sleep 50 ms
+/// before the 3rd query, and corrupt answer bit 2 after the 8th update.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The faults to inject.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Reads `GC_FAULT_PLAN` from the environment; `None` when unset,
+    /// `Err` when set but malformed.
+    pub fn from_env() -> Result<Option<FaultPlan>, String> {
+        match std::env::var("GC_FAULT_PLAN") {
+            Ok(s) if s.trim().is_empty() => Ok(None),
+            Ok(s) => s.parse().map(Some),
+            Err(_) => Ok(None),
+        }
+    }
+}
+
+fn parse_u64(s: &str, what: &str) -> Result<u64, String> {
+    s.trim()
+        .parse()
+        .map_err(|_| format!("invalid {what} '{s}' in fault plan"))
+}
+
+impl FromStr for FaultPlan {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut faults = Vec::new();
+        for part in s.split(';').map(str::trim).filter(|p| !p.is_empty()) {
+            let (name, args) = part
+                .split_once('@')
+                .ok_or_else(|| format!("fault '{part}' missing '@'"))?;
+            let mut nums = args.split(':');
+            let first = nums.next().unwrap_or("");
+            let second = nums.next();
+            let fault = match name.trim() {
+                "panic-update" => Fault::PanicOnUpdate {
+                    nth: parse_u64(first, "update ordinal")?,
+                },
+                "panic-query" => Fault::PanicOnQuery {
+                    nth: parse_u64(first, "query ordinal")?,
+                },
+                "delay-query" => Fault::DelayQuery {
+                    nth: parse_u64(first, "query ordinal")?,
+                    millis: parse_u64(
+                        second.ok_or_else(|| format!("delay-query '{part}' needs ':millis'"))?,
+                        "delay millis",
+                    )?,
+                },
+                "corrupt" => Fault::CorruptEntry {
+                    after_update: parse_u64(first, "update ordinal")?,
+                    graph_id: parse_u64(
+                        second.ok_or_else(|| format!("corrupt '{part}' needs ':graph_id'"))?,
+                        "graph id",
+                    )? as usize,
+                },
+                other => return Err(format!("unknown fault kind '{other}'")),
+            };
+            faults.push(fault);
+        }
+        Ok(FaultPlan { faults })
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, fault) in self.faults.iter().enumerate() {
+            if i > 0 {
+                f.write_str(";")?;
+            }
+            match *fault {
+                Fault::PanicOnUpdate { nth } => write!(f, "panic-update@{nth}")?,
+                Fault::PanicOnQuery { nth } => write!(f, "panic-query@{nth}")?,
+                Fault::DelayQuery { nth, millis } => write!(f, "delay-query@{nth}:{millis}")?,
+                Fault::CorruptEntry {
+                    after_update,
+                    graph_id,
+                } => write!(f, "corrupt@{after_update}:{graph_id}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Executes a [`FaultPlan`] against live update/query streams. All state
+/// is atomic; one injector can be shared across threads. Each fault fires
+/// at most once (ordinals are strictly increasing).
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    updates: AtomicU64,
+    queries: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Builds an injector for the given plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            updates: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Updates observed so far.
+    pub fn updates_seen(&self) -> u64 {
+        self.updates.load(Ordering::Relaxed)
+    }
+
+    /// Queries observed so far.
+    pub fn queries_seen(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Hook before a dataset update mutates anything. Panics when the plan
+    /// says this ordinal fails — because no mutation has happened yet, a
+    /// caller that contains the panic can simply retry the operation.
+    pub fn before_update(&self) {
+        let n = self.updates.fetch_add(1, Ordering::Relaxed) + 1;
+        for fault in &self.plan.faults {
+            if let Fault::PanicOnUpdate { nth } = *fault {
+                if nth == n {
+                    panic!("injected fault: panic on update #{n}");
+                }
+            }
+        }
+    }
+
+    /// Hook after the `n`-th update committed: returns the answer-bit id
+    /// to corrupt, if the plan schedules a corruption here.
+    pub fn after_update(&self) -> Option<usize> {
+        let n = self.updates.load(Ordering::Relaxed);
+        self.plan.faults.iter().find_map(|fault| match *fault {
+            Fault::CorruptEntry {
+                after_update,
+                graph_id,
+            } if after_update == n => Some(graph_id),
+            _ => None,
+        })
+    }
+
+    /// Hook before a query enters the pipeline: sleeps through scheduled
+    /// delays, then panics if the plan says this ordinal fails.
+    pub fn before_query(&self) {
+        let n = self.queries.fetch_add(1, Ordering::Relaxed) + 1;
+        for fault in &self.plan.faults {
+            if let Fault::DelayQuery { nth, millis } = *fault {
+                if nth == n {
+                    std::thread::sleep(Duration::from_millis(millis));
+                }
+            }
+        }
+        for fault in &self.plan.faults {
+            if let Fault::PanicOnQuery { nth } = *fault {
+                if nth == n {
+                    panic!("injected fault: panic on query #{n}");
+                }
+            }
+        }
+    }
+}
+
+/// Point-in-time copy of the health counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Panics contained by any isolation boundary.
+    pub panics_recovered: u64,
+    /// Entries ever placed under quarantine.
+    pub quarantined_entries: u64,
+    /// Queries that returned a `Degraded`-tagged (partial) outcome.
+    pub degraded_queries: u64,
+    /// Divergent entries repaired in place by the auditor.
+    pub audit_repairs: u64,
+    /// Divergent entries evicted by the auditor.
+    pub audit_evictions: u64,
+}
+
+/// Lock-free runtime health counters, shared via `Arc` between the cache,
+/// its shards and observers.
+#[derive(Debug, Default)]
+pub struct RuntimeHealth {
+    panics_recovered: AtomicU64,
+    quarantined_entries: AtomicU64,
+    degraded_queries: AtomicU64,
+    audit_repairs: AtomicU64,
+    audit_evictions: AtomicU64,
+}
+
+impl RuntimeHealth {
+    /// Records `n` contained panics.
+    pub fn add_panics_recovered(&self, n: u64) {
+        self.panics_recovered.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` entries placed under quarantine.
+    pub fn add_quarantined(&self, n: u64) {
+        self.quarantined_entries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one degraded query outcome.
+    pub fn add_degraded_query(&self) {
+        self.degraded_queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records auditor repairs.
+    pub fn add_audit_repairs(&self, n: u64) {
+        self.audit_repairs.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records auditor evictions.
+    pub fn add_audit_evictions(&self, n: u64) {
+        self.audit_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot (individual counters are exact; the
+    /// set is not read atomically, which observers do not need).
+    pub fn snapshot(&self) -> HealthSnapshot {
+        HealthSnapshot {
+            panics_recovered: self.panics_recovered.load(Ordering::Relaxed),
+            quarantined_entries: self.quarantined_entries.load(Ordering::Relaxed),
+            degraded_queries: self.degraded_queries.load(Ordering::Relaxed),
+            audit_repairs: self.audit_repairs.load(Ordering::Relaxed),
+            audit_evictions: self.audit_evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_token_never_fires() {
+        let b = QueryBudget::default();
+        assert!(b.is_unlimited());
+        let t = b.token();
+        for _ in 0..100 {
+            assert!(t.charge_test().is_ok());
+        }
+    }
+
+    #[test]
+    fn budget_limits_materialize() {
+        let b = QueryBudget {
+            deadline: Some(Duration::from_secs(3600)),
+            max_tests: Some(2),
+        };
+        assert!(!b.is_unlimited());
+        let t = b.token();
+        assert!(t.charge_test().is_ok());
+        assert!(t.charge_test().is_ok());
+        assert!(t.charge_test().is_err());
+    }
+
+    #[test]
+    fn plan_parses_and_round_trips() {
+        let s = "panic-update@5;panic-query@12;delay-query@3:50;corrupt@8:2";
+        let plan: FaultPlan = s.parse().unwrap();
+        assert_eq!(
+            plan.faults,
+            vec![
+                Fault::PanicOnUpdate { nth: 5 },
+                Fault::PanicOnQuery { nth: 12 },
+                Fault::DelayQuery { nth: 3, millis: 50 },
+                Fault::CorruptEntry {
+                    after_update: 8,
+                    graph_id: 2
+                },
+            ]
+        );
+        assert_eq!(plan.to_string(), s);
+        assert_eq!(plan.to_string().parse::<FaultPlan>().unwrap(), plan);
+    }
+
+    #[test]
+    fn malformed_plans_are_rejected() {
+        assert!("panic-update".parse::<FaultPlan>().is_err());
+        assert!("panic-update@x".parse::<FaultPlan>().is_err());
+        assert!("delay-query@3".parse::<FaultPlan>().is_err());
+        assert!("corrupt@1".parse::<FaultPlan>().is_err());
+        assert!("warp-core-breach@1".parse::<FaultPlan>().is_err());
+        // empty segments are tolerated
+        assert_eq!(
+            "panic-query@1;;".parse::<FaultPlan>().unwrap().faults.len(),
+            1
+        );
+        assert!("".parse::<FaultPlan>().unwrap().faults.is_empty());
+    }
+
+    #[test]
+    fn injector_fires_on_exact_ordinals() {
+        let plan: FaultPlan = "panic-update@2".parse().unwrap();
+        let inj = FaultInjector::new(plan);
+        inj.before_update(); // 1st: fine
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            inj.before_update() // 2nd: boom
+        }));
+        assert!(caught.is_err());
+        inj.before_update(); // 3rd: fine again
+        assert_eq!(inj.updates_seen(), 3);
+    }
+
+    #[test]
+    fn corruption_directive_surfaces_once() {
+        let plan: FaultPlan = "corrupt@2:7".parse().unwrap();
+        let inj = FaultInjector::new(plan);
+        inj.before_update();
+        assert_eq!(inj.after_update(), None);
+        inj.before_update();
+        assert_eq!(inj.after_update(), Some(7));
+        inj.before_update();
+        assert_eq!(inj.after_update(), None);
+    }
+
+    #[test]
+    fn query_delay_and_panic() {
+        let plan: FaultPlan = "delay-query@1:1;panic-query@2".parse().unwrap();
+        let inj = FaultInjector::new(plan);
+        let t = Instant::now();
+        inj.before_query();
+        assert!(t.elapsed() >= Duration::from_millis(1));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inj.before_query()));
+        assert!(caught.is_err());
+        assert_eq!(inj.queries_seen(), 2);
+    }
+
+    #[test]
+    fn health_counters_accumulate() {
+        let h = RuntimeHealth::default();
+        h.add_panics_recovered(2);
+        h.add_quarantined(3);
+        h.add_degraded_query();
+        h.add_audit_repairs(1);
+        h.add_audit_evictions(4);
+        let s = h.snapshot();
+        assert_eq!(s.panics_recovered, 2);
+        assert_eq!(s.quarantined_entries, 3);
+        assert_eq!(s.degraded_queries, 1);
+        assert_eq!(s.audit_repairs, 1);
+        assert_eq!(s.audit_evictions, 4);
+    }
+}

@@ -44,6 +44,7 @@ pub mod cache;
 pub mod concurrent;
 pub mod config;
 pub mod entry;
+pub mod fault;
 pub mod metrics;
 pub mod policy;
 pub mod processor;
@@ -57,6 +58,7 @@ pub mod window;
 
 pub use concurrent::ConcurrentGraphCache;
 pub use config::{CacheModel, GcConfig, Policy};
+pub use fault::{Fault, FaultInjector, FaultPlan, HealthSnapshot, QueryBudget, RuntimeHealth};
 pub use metrics::{AggregateMetrics, HitBreakdown, QueryMetrics};
 pub use sharded::ShardedGraphCache;
-pub use system::{baseline_execute, GraphCachePlus, QueryOutcome};
+pub use system::{baseline_execute, AuditReport, GraphCachePlus, QueryOutcome};

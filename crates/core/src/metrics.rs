@@ -16,6 +16,8 @@
 
 use std::time::Duration;
 
+use gc_subiso::Interrupt;
+
 /// Cache-hit classification for one query.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HitBreakdown {
@@ -51,6 +53,13 @@ pub struct QueryMetrics {
     pub candidate_size: u64,
     /// Hit classification.
     pub hits: HitBreakdown,
+    /// `Some(interrupt)` iff the query did **not** run to completion
+    /// (budget exhausted or a panic was contained) and the answer is a
+    /// sound *partial* result — verified positives only, never admitted to
+    /// the cache. `None` means the answer is exact (Theorems 3/6 hold).
+    pub degraded: Option<Interrupt>,
+    /// Worker panics contained while executing this query.
+    pub panics_recovered: u64,
 }
 
 /// Running aggregation over a workload.
@@ -82,6 +91,11 @@ pub struct AggregateMetrics {
     pub direct_hits: u64,
     /// Total exclusion hits used.
     pub exclusion_hits: u64,
+    /// Queries that returned an explicitly tagged partial (degraded)
+    /// answer instead of the exact one.
+    pub degraded_queries: u64,
+    /// Worker panics contained across all recorded queries.
+    pub panics_recovered: u64,
 }
 
 impl AggregateMetrics {
@@ -108,6 +122,10 @@ impl AggregateMetrics {
         }
         self.direct_hits += m.hits.direct_hits as u64;
         self.exclusion_hits += m.hits.exclusion_hits as u64;
+        if m.degraded.is_some() {
+            self.degraded_queries += 1;
+        }
+        self.panics_recovered += m.panics_recovered;
     }
 
     /// Average query time in milliseconds.
@@ -175,6 +193,7 @@ mod tests {
                 exact_shortcut: tests == 0,
                 empty_shortcut: false,
             },
+            ..QueryMetrics::default()
         }
     }
 
@@ -203,6 +222,18 @@ mod tests {
         assert_eq!(agg.avg_query_time_ms(), 0.0);
         assert_eq!(agg.avg_tests(), 0.0);
         assert_eq!(agg.validation_share_of_overhead(), 0.0);
+    }
+
+    #[test]
+    fn degraded_and_panic_counters_fold() {
+        let mut agg = AggregateMetrics::default();
+        let mut m = metrics(3, 1, 1);
+        m.degraded = Some(Interrupt::Deadline);
+        m.panics_recovered = 2;
+        agg.record(&m);
+        agg.record(&metrics(1, 1, 1));
+        assert_eq!(agg.degraded_queries, 1);
+        assert_eq!(agg.panics_recovered, 2);
     }
 
     #[test]

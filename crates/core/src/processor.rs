@@ -30,7 +30,7 @@
 
 use gc_graph::LabeledGraph;
 use gc_subiso::parallel::parallel_map_indexed;
-use gc_subiso::{QueryKind, SubgraphMatcher};
+use gc_subiso::{CancelToken, QueryKind, SubgraphMatcher};
 
 use crate::cache::CacheManager;
 use crate::entry::CachedQuery;
@@ -77,14 +77,37 @@ struct ProbeOutcome {
     probes: u64,
 }
 
+/// One SI probe, optionally under a budget. `None` means the budget is
+/// exhausted and the probe was skipped/abandoned — the entry is simply not
+/// used as a hit, which is always sound (missed hits only cost tests, they
+/// never change the answer). Probes charge the token's test counter: the
+/// budget covers *all* SI work a query triggers.
+fn budgeted_contains(
+    matcher: &dyn SubgraphMatcher,
+    pattern: &LabeledGraph,
+    target: &LabeledGraph,
+    token: Option<&CancelToken>,
+) -> Option<bool> {
+    match token {
+        None => Some(matcher.contains(pattern, target)),
+        Some(tok) => tok
+            .charge_test()
+            .and_then(|()| matcher.contains_budgeted(pattern, target, tok))
+            .ok(),
+    }
+}
+
 /// Probes one entry (kind-matched) for both containment directions.
+/// Quarantined entries are skipped entirely: their knowledge is under
+/// suspicion until the consistency auditor clears them.
 fn probe_entry(
     query: &LabeledGraph,
     kind: QueryKind,
     entry: &CachedQuery,
     matcher: &dyn SubgraphMatcher,
+    token: Option<&CancelToken>,
 ) -> ProbeOutcome {
-    if entry.kind != kind {
+    if entry.kind != kind || entry.quarantined {
         return ProbeOutcome::default();
     }
     let mut out = ProbeOutcome {
@@ -93,21 +116,27 @@ fn probe_entry(
     };
 
     // query ⊆ entry ?
-    out.query_in_entry = if entry.may_contain_query(query) {
-        out.probes += 1;
-        matcher.contains(query, &entry.graph)
-    } else {
-        false
-    };
+    out.query_in_entry = entry.may_contain_query(query)
+        && match budgeted_contains(matcher, query, &entry.graph, token) {
+            Some(found) => {
+                out.probes += 1;
+                found
+            }
+            None => false,
+        };
     // entry ⊆ query ?  (an exact match needs only one SI probe: equal
     // signatures + one direction imply isomorphism)
     out.entry_in_query = if out.same_sig && out.query_in_entry {
         true
-    } else if entry.may_be_contained_in_query(query) {
-        out.probes += 1;
-        matcher.contains(&entry.graph, query)
     } else {
-        false
+        entry.may_be_contained_in_query(query)
+            && match budgeted_contains(matcher, &entry.graph, query, token) {
+                Some(found) => {
+                    out.probes += 1;
+                    found
+                }
+                None => false,
+            }
     };
     out
 }
@@ -168,6 +197,24 @@ pub fn discover_hits_with(
     matcher: &dyn SubgraphMatcher,
     parallelism: usize,
 ) -> Hits {
+    discover_hits_budgeted(query, kind, cache, window, matcher, parallelism, None)
+}
+
+/// [`discover_hits_with`] under an optional [`CancelToken`]. An exhausted
+/// budget makes remaining probes no-ops: the hits found so far are all
+/// real (probing is sound under interruption — a missed hit weakens
+/// pruning but never the answer), so discovery needs no degraded tag of
+/// its own.
+#[allow(clippy::too_many_arguments)]
+pub fn discover_hits_budgeted(
+    query: &LabeledGraph,
+    kind: QueryKind,
+    cache: &CacheManager,
+    window: &Window,
+    matcher: &dyn SubgraphMatcher,
+    parallelism: usize,
+    token: Option<&CancelToken>,
+) -> Hits {
     let entry_iter = || {
         cache
             .iter()
@@ -186,7 +233,7 @@ pub fn discover_hits_with(
     if parallelism > 1 && population >= PARALLEL_PROBE_THRESHOLD {
         let entries: Vec<(EntryRef, &CachedQuery)> = entry_iter().collect();
         let outcomes = parallel_map_indexed(entries.len(), parallelism, |i| {
-            probe_entry(query, kind, entries[i].1, matcher)
+            probe_entry(query, kind, entries[i].1, matcher, token)
         });
         for ((r, _), out) in entries.iter().zip(outcomes) {
             fold_outcome(&mut hits, kind, *r, out);
@@ -194,7 +241,7 @@ pub fn discover_hits_with(
     } else {
         // the default sequential path stays allocation-free
         for (r, e) in entry_iter() {
-            let out = probe_entry(query, kind, e, matcher);
+            let out = probe_entry(query, kind, e, matcher, token);
             fold_outcome(&mut hits, kind, r, out);
         }
     }
@@ -344,6 +391,53 @@ mod tests {
                 assert_eq!(seq, par, "{kind:?} with {threads} threads");
             }
         }
+    }
+
+    #[test]
+    fn quarantined_entries_contribute_no_hits() {
+        let edge = g(vec![0, 0], &[(0, 1)]);
+        let mut quarantined = entry(edge.clone(), QueryKind::Subgraph);
+        quarantined.quarantined = true;
+        let (cache, window) = setup(vec![quarantined]);
+        let m = Algorithm::Vf2Plus.matcher();
+        let hits = discover_hits(&edge, QueryKind::Subgraph, &cache, &window, m);
+        assert!(hits.direct.is_empty());
+        assert!(hits.exclusion.is_empty());
+        assert!(hits.exact.is_none());
+        assert_eq!(hits.probes, 0, "no SI work on suspect knowledge");
+    }
+
+    #[test]
+    fn exhausted_budget_skips_probes_soundly() {
+        let edge = g(vec![0, 0], &[(0, 1)]);
+        let (cache, window) = setup(vec![entry(edge.clone(), QueryKind::Subgraph)]);
+        let m = Algorithm::Vf2Plus.matcher();
+        let token = CancelToken::unlimited();
+        token.cancel();
+        let hits = discover_hits_budgeted(
+            &edge,
+            QueryKind::Subgraph,
+            &cache,
+            &window,
+            m,
+            1,
+            Some(&token),
+        );
+        assert!(hits.direct.is_empty() && hits.exact.is_none());
+        assert_eq!(hits.probes, 0);
+        // a live token reproduces the unbudgeted result
+        let live = CancelToken::unlimited();
+        let budgeted = discover_hits_budgeted(
+            &edge,
+            QueryKind::Subgraph,
+            &cache,
+            &window,
+            m,
+            1,
+            Some(&live),
+        );
+        let plain = discover_hits(&edge, QueryKind::Subgraph, &cache, &window, m);
+        assert_eq!(budgeted, plain);
     }
 
     #[test]

@@ -19,11 +19,14 @@
 //! unions, the sharded answer is exactly the single-instance answer —
 //! asserted by `tests` below and the cross-crate suite.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use gc_dataset::{ChangeOp, DatasetError};
 use gc_graph::{BitSet, LabeledGraph};
-use gc_subiso::QueryKind;
+use gc_subiso::{Interrupt, QueryKind};
 
 use crate::config::GcConfig;
+use crate::fault::HealthSnapshot;
 use crate::metrics::QueryMetrics;
 use crate::system::{GraphCachePlus, QueryOutcome};
 
@@ -134,23 +137,44 @@ impl ShardedGraphCache {
     /// Executes a query on every shard and unions the translated answers.
     /// Metrics are summed across shards (tests, saved tests) with the
     /// slowest shard's query time (the deployment's critical path).
+    ///
+    /// **Panic isolation:** each shard runs behind its own panic boundary
+    /// (via [`GraphCachePlus::execute_isolated`]). A failing shard
+    /// quarantines its own suspect entries and retries; in the worst case
+    /// it contributes an explicitly degraded empty partial — tagged in the
+    /// unioned metrics — instead of taking the whole deployment down.
     pub fn execute(&mut self, query: &LabeledGraph, kind: QueryKind) -> QueryOutcome {
+        // a shard slot that fails beyond recovery yields a degraded empty
+        // outcome: sound (contributes no answers) and explicitly tagged
+        let degraded_slot = || QueryOutcome {
+            answer: BitSet::new(),
+            metrics: QueryMetrics {
+                degraded: Some(Interrupt::Panic),
+                ..QueryMetrics::default()
+            },
+        };
         let outcomes: Vec<QueryOutcome> = if self.parallel_fanout && self.shards.len() > 1 {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .shards
                     .iter_mut()
-                    .map(|s| scope.spawn(move || s.execute(query, kind)))
+                    .map(|s| scope.spawn(move || s.execute_isolated(query, kind)))
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("shard worker panicked"))
+                    // execute_isolated contains all panics, so a join
+                    // failure should be unreachable; degrade rather than
+                    // cascade if it ever happens
+                    .map(|h| h.join().unwrap_or_else(|_| degraded_slot()))
                     .collect()
             })
         } else {
             self.shards
                 .iter_mut()
-                .map(|s| s.execute(query, kind))
+                .map(|s| {
+                    catch_unwind(AssertUnwindSafe(|| s.execute_isolated(query, kind)))
+                        .unwrap_or_else(|_| degraded_slot())
+                })
                 .collect()
         };
 
@@ -166,8 +190,61 @@ impl ShardedGraphCache {
             metrics.query_time = metrics.query_time.max(out.metrics.query_time);
             metrics.overhead_time += out.metrics.overhead_time;
             metrics.validation_time += out.metrics.validation_time;
+            metrics.panics_recovered += out.metrics.panics_recovered;
+            if metrics.degraded.is_none() {
+                // one degraded shard degrades the unioned outcome: the
+                // union may be missing that shard's share of the answer
+                metrics.degraded = out.metrics.degraded;
+            }
         }
         QueryOutcome { answer, metrics }
+    }
+
+    /// Sums the fault-tolerance counters across all shards.
+    pub fn health_snapshot(&self) -> HealthSnapshot {
+        let mut total = HealthSnapshot::default();
+        for s in &self.shards {
+            let h = s.health_snapshot();
+            total.panics_recovered += h.panics_recovered;
+            total.quarantined_entries += h.quarantined_entries;
+            total.degraded_queries += h.degraded_queries;
+            total.audit_repairs += h.audit_repairs;
+            total.audit_evictions += h.audit_evictions;
+        }
+        total
+    }
+
+    /// Entries currently under quarantine across all shards.
+    pub fn quarantined_entries(&self) -> usize {
+        self.shards.iter().map(|s| s.quarantined_entries()).sum()
+    }
+
+    /// Runs the consistency auditor on every shard (repair mode), folding
+    /// the per-shard reports. Shard `i` audits with seed `seed + i` so
+    /// samples stay deterministic but uncorrelated.
+    pub fn audit(&mut self, sample_rate: f64, seed: u64) -> crate::system::AuditReport {
+        let mut total = crate::system::AuditReport::default();
+        for (i, s) in self.shards.iter_mut().enumerate() {
+            let r = s.audit(sample_rate, seed.wrapping_add(i as u64));
+            total.sampled += r.sampled;
+            total.clean += r.clean;
+            total.repaired += r.repaired;
+            total.evicted += r.evicted;
+        }
+        total
+    }
+
+    /// Installs fault injectors per shard (chaos testing); shard `i` gets
+    /// `make(i)`.
+    pub fn set_fault_injectors(
+        &mut self,
+        mut make: impl FnMut(usize) -> Option<std::sync::Arc<crate::fault::FaultInjector>>,
+    ) {
+        for (i, s) in self.shards.iter_mut().enumerate() {
+            if let Some(inj) = make(i) {
+                s.set_fault_injector(inj);
+            }
+        }
     }
 }
 
@@ -267,5 +344,34 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _ = ShardedGraphCache::new(GcConfig::default(), Vec::new(), 0);
+    }
+
+    #[test]
+    fn panicking_shard_is_contained() {
+        use crate::fault::FaultInjector;
+        use std::sync::Arc;
+        let data = dataset(12, 9);
+        let q = query(&data, 10);
+        let mut oracle = GraphCachePlus::new(GcConfig::default(), data.clone());
+        let expected = oracle.execute(&q, QueryKind::Subgraph).answer;
+        for fanout in [false, true] {
+            let mut sharded = ShardedGraphCache::new(GcConfig::default(), data.clone(), 3)
+                .with_parallel_fanout(fanout);
+            // shard 1 panics on its first query; the other shards are clean
+            sharded.set_fault_injectors(|i| {
+                (i == 1).then(|| Arc::new(FaultInjector::new("panic-query@1".parse().unwrap())))
+            });
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let out = sharded.execute(&q, QueryKind::Subgraph);
+            std::panic::set_hook(prev);
+            assert_eq!(out.answer, expected, "fanout={fanout}");
+            assert!(out.metrics.degraded.is_none(), "retry recovered exactly");
+            assert_eq!(out.metrics.panics_recovered, 1);
+            assert_eq!(sharded.health_snapshot().panics_recovered, 1);
+            // auditing clears whatever the recovery quarantined
+            sharded.audit(1.0, 5);
+            assert_eq!(sharded.quarantined_entries(), 0);
+        }
     }
 }

@@ -20,22 +20,62 @@
 //! Dataset changes arrive through [`apply`](GraphCachePlus::apply) (single
 //! operation) or [`with_dataset`](GraphCachePlus::with_dataset) (bulk —
 //! e.g. a `gc_dataset::PlanExecutor` driving the paper's change plan).
+//!
+//! # Failure model
+//!
+//! The pipeline above assumes every stage runs to completion. Three
+//! mechanisms keep the system useful when it does not:
+//!
+//! * **budgets** — [`execute`](GraphCachePlus::execute) materializes
+//!   `config.budget` into a [`CancelToken`] threaded through probing and
+//!   Method M; an exhausted budget yields a *sound partial* answer (its
+//!   positives are verified) explicitly tagged in
+//!   `QueryMetrics::degraded`, and the partial answer is never admitted
+//!   into cache or window;
+//! * **panic isolation** —
+//!   [`execute_isolated`](GraphCachePlus::execute_isolated) /
+//!   [`apply_isolated`](GraphCachePlus::apply_isolated) contain a panicking
+//!   attempt, quarantine the cache entries the query may have touched, and
+//!   retry once (injected faults are one-shot; a second panic falls back
+//!   to cache-less [`baseline_execute`]). Quarantined entries contribute
+//!   no hits until re-verified;
+//! * **the consistency auditor** — [`audit`](GraphCachePlus::audit)
+//!   re-verifies a seeded random sample of entries (plus every quarantined
+//!   one) against the store and repairs or evicts divergent ones — the
+//!   recovery path for silent corruption that validity bookkeeping cannot
+//!   see.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gc_dataset::{ChangeLog, ChangeOp, DatasetError, GraphId, GraphStore, LogAnalyzer, LogCursor};
-use gc_graph::LabeledGraph;
-use gc_subiso::QueryKind;
+use gc_graph::{BitSet, LabeledGraph};
+use gc_subiso::{Interrupt, QueryKind};
 
 use crate::cache::CacheManager;
 use crate::config::{CacheModel, GcConfig};
 use crate::entry::CachedQuery;
+use crate::fault::{FaultInjector, HealthSnapshot, QueryBudget, RuntimeHealth};
 use crate::metrics::{AggregateMetrics, HitBreakdown, QueryMetrics};
-use crate::processor::{discover_hits_with, EntryRef};
+use crate::processor::{discover_hits_budgeted, EntryRef};
 use crate::pruner::{prune, Shortcut};
 pub use crate::runtime::{baseline_execute, QueryOutcome};
 use crate::validator;
 use crate::window::Window;
+
+/// What one [`GraphCachePlus::audit`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Entries re-verified against the store.
+    pub sampled: usize,
+    /// Audited entries whose valid claims matched ground truth.
+    pub clean: usize,
+    /// Divergent entries rebuilt in place (answer + full validity).
+    pub repaired: usize,
+    /// Divergent entries evicted instead of repaired.
+    pub evicted: usize,
+}
 
 /// The GraphCache+ system.
 #[derive(Debug)]
@@ -52,6 +92,10 @@ pub struct GraphCachePlus {
     /// synced from the change log at each query, so external bulk
     /// mutations via [`with_dataset`](Self::with_dataset) are picked up.
     ftv_index: Option<gc_dataset::LabelIndex>,
+    /// Shared fault-tolerance counters.
+    health: Arc<RuntimeHealth>,
+    /// Deterministic fault injection, when enabled (tests / chaos driver).
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl GraphCachePlus {
@@ -72,6 +116,8 @@ impl GraphCachePlus {
             clock: 0,
             aggregate: AggregateMetrics::default(),
             ftv_index,
+            health: Arc::new(RuntimeHealth::default()),
+            injector: None,
         }
     }
 
@@ -85,10 +131,35 @@ impl GraphCachePlus {
         &self.store
     }
 
+    /// Installs a deterministic fault injector (tests / chaos driver).
+    pub fn set_fault_injector(&mut self, injector: Arc<FaultInjector>) {
+        self.injector = Some(injector);
+    }
+
+    /// The shared fault-tolerance counters.
+    pub fn health(&self) -> Arc<RuntimeHealth> {
+        Arc::clone(&self.health)
+    }
+
+    /// Point-in-time copy of the fault-tolerance counters.
+    pub fn health_snapshot(&self) -> HealthSnapshot {
+        self.health.snapshot()
+    }
+
+    /// Entries currently under quarantine across cache and window.
+    pub fn quarantined_entries(&self) -> usize {
+        self.cache.quarantined_count() + self.window.quarantined_count()
+    }
+
     /// Applies a single dataset change, logging it. Returns the assigned
     /// id for ADD, the affected id otherwise.
     pub fn apply(&mut self, op: ChangeOp) -> Result<GraphId, DatasetError> {
-        match op {
+        if let Some(inj) = &self.injector {
+            // fires *before* any mutation, so a contained panic leaves the
+            // dataset untouched and the operation can simply be retried
+            inj.before_update();
+        }
+        let result = match op {
             ChangeOp::Add(g) => {
                 let id = self.store.add_graph(g);
                 self.log.append(id, gc_dataset::OpType::Add);
@@ -109,6 +180,38 @@ impl GraphCachePlus {
                 self.log.append_edge(id, gc_dataset::OpType::Ur, u, v);
                 Ok(id)
             }
+        };
+        if result.is_ok() {
+            if let Some(bit) = self.injector.as_ref().and_then(|i| i.after_update()) {
+                self.corrupt_one_entry(bit);
+            }
+        }
+        result
+    }
+
+    /// [`apply`](Self::apply) behind a panic boundary: a panicking update
+    /// (e.g. an injected fault) is contained and retried once from the
+    /// unchanged pre-update state. A second panic propagates — a
+    /// deterministic failure is a real bug, not a transient fault.
+    pub fn apply_isolated(&mut self, op: ChangeOp) -> Result<GraphId, DatasetError> {
+        let retry = op.clone();
+        match catch_unwind(AssertUnwindSafe(|| self.apply(op))) {
+            Ok(result) => result,
+            Err(_) => {
+                self.health.add_panics_recovered(1);
+                self.apply(retry)
+            }
+        }
+    }
+
+    /// Injected silent corruption: flips answer bit `bit` (and forces the
+    /// matching validity bit on) in the first resident entry — exactly the
+    /// divergence the consistency auditor exists to catch.
+    fn corrupt_one_entry(&mut self, bit: usize) {
+        let entry = self.cache.get_mut(0).or_else(|| self.window.get_mut(0));
+        if let Some(e) = entry {
+            e.answer.set(bit, !e.answer.get(bit));
+            e.cg_valid.set(bit, true);
         }
     }
 
@@ -140,12 +243,11 @@ impl GraphCachePlus {
         self.aggregate = AggregateMetrics::default();
     }
 
-    /// Executes a query through the full GC+ pipeline.
-    pub fn execute(&mut self, query: &LabeledGraph, kind: QueryKind) -> QueryOutcome {
-        self.clock += 1;
-        let now = self.clock;
-
-        // ---- step 1: consistency maintenance (overhead) ----
+    /// Step 1 of the pipeline: consistency maintenance. Shared by query
+    /// execution and the auditor (which must refresh validity bits before
+    /// judging an entry's claims). Returns `(overhead, validation_time)`;
+    /// idempotent when the log has not moved.
+    fn maintain_consistency(&mut self) -> (Duration, Duration) {
         let mut overhead = Duration::ZERO;
         let mut validation_time = Duration::ZERO;
         if self.log.changed_since(self.cursor) {
@@ -176,6 +278,36 @@ impl GraphCachePlus {
             }
             overhead += elapsed;
         }
+        (overhead, validation_time)
+    }
+
+    /// Executes a query through the full GC+ pipeline under the
+    /// configured budget (`config.budget`; unlimited by default).
+    pub fn execute(&mut self, query: &LabeledGraph, kind: QueryKind) -> QueryOutcome {
+        self.execute_budgeted(query, kind, self.config.budget)
+    }
+
+    /// Executes a query under an explicit per-query budget. On budget
+    /// exhaustion the returned answer is a *sound partial* result (every
+    /// positive verified, some candidates unexamined), tagged in
+    /// `metrics.degraded`; partial answers never enter cache or window.
+    pub fn execute_budgeted(
+        &mut self,
+        query: &LabeledGraph,
+        kind: QueryKind,
+        budget: QueryBudget,
+    ) -> QueryOutcome {
+        // the deadline clock starts before injected delays and maintenance
+        // — everything a caller would experience counts against it
+        let token = budget.token();
+        if let Some(inj) = &self.injector {
+            inj.before_query();
+        }
+        self.clock += 1;
+        let now = self.clock;
+
+        // ---- step 1: consistency maintenance (overhead) ----
+        let (mut overhead, validation_time) = self.maintain_consistency();
 
         // ---- steps 2-4: query execution (query time) ----
         let t_query = Instant::now();
@@ -195,27 +327,42 @@ impl GraphCachePlus {
         };
         let candidate_size = csm.count_ones() as u64;
         let matcher = self.config.internal_matcher.matcher();
-        let hits = discover_hits_with(
+        let budget_token = (!budget.is_unlimited()).then_some(&token);
+        // Hit discovery under the token: an exhausted budget skips the
+        // remaining probes, which only weakens pruning — every hit found
+        // is real, so discovery never degrades the answer by itself.
+        let hits = discover_hits_budgeted(
             query,
             kind,
             &self.cache,
             &self.window,
             matcher,
             self.config.probe_parallelism,
+            budget_token,
         );
         let outcome = prune(&csm, &hits, &self.cache, &self.window, &csm);
 
-        let (answer, tests, prefilter_skips) = if outcome.candidates.is_empty() {
-            (outcome.direct_answers.clone(), 0, 0)
-        } else {
-            let m = self
-                .config
-                .method
-                .run(query, kind, &self.store, &outcome.candidates);
-            let mut answer = m.answer;
-            answer.union_with(&outcome.direct_answers);
-            (answer, m.tests, m.prefilter_skips)
-        };
+        let (answer, tests, prefilter_skips, degraded, panics_recovered) =
+            if outcome.candidates.is_empty() {
+                (outcome.direct_answers.clone(), 0, 0, None, 0)
+            } else {
+                let m = self.config.method.run_budgeted(
+                    query,
+                    kind,
+                    &self.store,
+                    &outcome.candidates,
+                    &token,
+                );
+                let mut answer = m.answer;
+                answer.union_with(&outcome.direct_answers);
+                (
+                    answer,
+                    m.tests,
+                    m.prefilter_skips,
+                    m.interrupted,
+                    m.panics_recovered,
+                )
+            };
         let query_time = t_query.elapsed();
 
         // ---- step 5: statistics + admission (overhead) ----
@@ -232,7 +379,10 @@ impl GraphCachePlus {
             .expect("hit refs are valid until admission");
             e.credit(saved, saved as f64 * per_test_cost, now);
         }
-        if let Some(r) = hits.exact {
+        if degraded.is_some() {
+            // a partial answer must never become cached knowledge: skip
+            // the twin refresh and admission entirely
+        } else if let Some(r) = hits.exact {
             // An isomorphic twin is already cached: refresh it in place
             // with the just-computed answer (full validity again) instead
             // of admitting a duplicate.
@@ -243,7 +393,8 @@ impl GraphCachePlus {
             }
             .expect("hit refs are valid until admission");
             e.answer = answer.clone();
-            e.cg_valid = gc_graph::BitSet::all_set(span);
+            e.cg_valid = BitSet::all_set(span);
+            e.quarantined = false;
         } else {
             let entry = CachedQuery::new(
                 query.clone(),
@@ -258,6 +409,12 @@ impl GraphCachePlus {
         }
         overhead += t_admit.elapsed();
 
+        if degraded.is_some() {
+            self.health.add_degraded_query();
+        }
+        if panics_recovered > 0 {
+            self.health.add_panics_recovered(panics_recovered);
+        }
         let metrics = QueryMetrics {
             query_time,
             overhead_time: overhead,
@@ -273,10 +430,160 @@ impl GraphCachePlus {
                 exact_shortcut: matches!(outcome.shortcut, Some(Shortcut::ExactMatch(_))),
                 empty_shortcut: matches!(outcome.shortcut, Some(Shortcut::EmptyResult(_))),
             },
+            degraded,
+            panics_recovered,
         };
         self.aggregate.record(&metrics);
         QueryOutcome { answer, metrics }
     }
+
+    /// [`execute`](Self::execute) behind a panic boundary. A panicking
+    /// attempt (injected fault, poisoned entry, matcher bug) is contained:
+    /// the entries the query plausibly touched are quarantined, then the
+    /// query is retried once — quarantined knowledge excluded. If the
+    /// retry *also* panics, the cache is bypassed entirely and the query
+    /// falls back to cache-less [`baseline_execute`]; if even that fails,
+    /// an explicitly degraded empty outcome is returned. This method never
+    /// panics and never returns a silently wrong answer.
+    pub fn execute_isolated(&mut self, query: &LabeledGraph, kind: QueryKind) -> QueryOutcome {
+        match catch_unwind(AssertUnwindSafe(|| self.execute(query, kind))) {
+            Ok(out) => out,
+            Err(_) => {
+                self.health.add_panics_recovered(1);
+                self.quarantine_related(query, kind);
+                match catch_unwind(AssertUnwindSafe(|| self.execute(query, kind))) {
+                    Ok(mut out) => {
+                        // the retry's answer is exact (or already tagged by
+                        // its own budget); only the panic count needs fixing
+                        out.metrics.panics_recovered += 1;
+                        self.aggregate.panics_recovered += 1;
+                        out
+                    }
+                    Err(_) => {
+                        self.health.add_panics_recovered(1);
+                        self.degraded_fallback(query, kind)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Last-resort path after repeated panics: answer from the store
+    /// alone. The baseline answer is exact, so it is not tagged degraded;
+    /// only a panic in the baseline itself produces a degraded empty
+    /// outcome.
+    fn degraded_fallback(&mut self, query: &LabeledGraph, kind: QueryKind) -> QueryOutcome {
+        let baseline = catch_unwind(AssertUnwindSafe(|| {
+            baseline_execute(&self.store, &self.config.method, query, kind)
+        }));
+        let mut out = match baseline {
+            Ok(out) => out,
+            Err(_) => {
+                self.health.add_panics_recovered(1);
+                self.health.add_degraded_query();
+                QueryOutcome {
+                    answer: BitSet::new(),
+                    metrics: QueryMetrics {
+                        degraded: Some(Interrupt::Panic),
+                        ..QueryMetrics::default()
+                    },
+                }
+            }
+        };
+        out.metrics.panics_recovered += 2;
+        self.aggregate.record(&out.metrics);
+        out
+    }
+
+    /// Quarantines every entry the given query could have interacted with
+    /// (same kind, signature-compatible in either containment direction).
+    /// Returns how many entries were newly quarantined.
+    pub fn quarantine_related(&mut self, query: &LabeledGraph, kind: QueryKind) -> usize {
+        let mut count = 0u64;
+        let entries = self.cache.iter_mut().chain(self.window.iter_mut());
+        for e in entries {
+            if e.quarantined || e.kind != kind {
+                continue;
+            }
+            if e.may_contain_query(query) || e.may_be_contained_in_query(query) {
+                e.quarantined = true;
+                count += 1;
+            }
+        }
+        self.health.add_quarantined(count);
+        count as usize
+    }
+
+    /// The consistency auditor. Re-verifies a seeded random sample of
+    /// resident entries (every quarantined entry is always audited)
+    /// against the live store using Method M, and compares each entry's
+    /// *valid claims* — answer bits it currently holds validity for —
+    /// with ground truth. Divergent entries are repaired in place
+    /// (`repair = true`: answer rebuilt, validity restored) or evicted
+    /// (`repair = false`). Clean and repaired entries leave quarantine.
+    ///
+    /// Validity bits are refreshed first, so entries that merely lag the
+    /// change log are *not* misdiagnosed as divergent — the auditor only
+    /// flags corruption the consistency machinery cannot see.
+    pub fn audit_with(&mut self, sample_rate: f64, seed: u64, repair: bool) -> AuditReport {
+        self.maintain_consistency();
+        let mut report = AuditReport::default();
+        let live = self.store.live_bitset();
+        let span = self.store.id_span();
+        let mut rng = seed | 1; // xorshift state must be nonzero
+        let store = &self.store;
+        let method = &self.config.method;
+        let mut evict_any = false;
+        for e in self.cache.iter_mut().chain(self.window.iter_mut()) {
+            let sampled =
+                e.quarantined || sample_rate >= 1.0 || xorshift_f64(&mut rng) < sample_rate;
+            if !sampled {
+                continue;
+            }
+            report.sampled += 1;
+            let truth = method.run(&e.graph, e.kind, store, &live).answer;
+            let valid_live = e.cg_valid.intersection(&live);
+            let claimed = e.answer.intersection(&valid_live);
+            let actual = truth.intersection(&valid_live);
+            if claimed == actual {
+                report.clean += 1;
+                e.quarantined = false;
+            } else if repair {
+                e.answer = truth;
+                e.cg_valid = BitSet::all_set(span);
+                e.quarantined = false;
+                report.repaired += 1;
+            } else {
+                // mark for the eviction sweep below
+                e.quarantined = true;
+                evict_any = true;
+            }
+        }
+        if evict_any {
+            let evicted = self.cache.evict_where(|e| e.quarantined)
+                + self.window.evict_where(|e| e.quarantined);
+            report.evicted = evicted;
+        }
+        self.health.add_audit_repairs(report.repaired as u64);
+        self.health.add_audit_evictions(report.evicted as u64);
+        report
+    }
+
+    /// [`audit_with`](Self::audit_with) in repair mode — the default
+    /// recovery policy.
+    pub fn audit(&mut self, sample_rate: f64, seed: u64) -> AuditReport {
+        self.audit_with(sample_rate, seed, true)
+    }
+}
+
+/// Minimal xorshift64* step mapped to `[0, 1)` — the auditor's sampling
+/// coin. Deterministic for a given seed, no external RNG dependency in
+/// this crate.
+fn xorshift_f64(state: &mut u64) -> f64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
 }
 
 #[cfg(test)]
@@ -434,5 +741,153 @@ mod tests {
         gc.execute(&g(vec![0, 0], &[(0, 1)]), QueryKind::Subgraph);
         gc.execute(&g(vec![1, 1], &[(0, 1)]), QueryKind::Subgraph);
         assert_eq!(gc.occupancy(), (2, 0));
+    }
+
+    /// Runs `f` with the default panic hook silenced (for tests that
+    /// deliberately contain panics).
+    fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = f();
+        std::panic::set_hook(prev);
+        r
+    }
+
+    #[test]
+    fn exhausted_test_cap_degrades_without_admission() {
+        let mut gc = GraphCachePlus::new(config(), dataset());
+        let q = g(vec![0, 0], &[(0, 1)]);
+        let oracle = baseline_execute(gc.store(), &gc.config().method, &q, QueryKind::Subgraph);
+        let out = gc.execute_budgeted(
+            &q,
+            QueryKind::Subgraph,
+            QueryBudget {
+                deadline: None,
+                max_tests: Some(1),
+            },
+        );
+        assert_eq!(out.metrics.degraded, Some(Interrupt::TestCap));
+        assert!(out.metrics.subiso_tests <= 1);
+        assert!(
+            out.answer.is_subset_of(&oracle.answer),
+            "partial answers are sound: verified positives only"
+        );
+        assert_eq!(gc.occupancy(), (0, 0), "partial answers are not admitted");
+        assert_eq!(gc.aggregate_metrics().degraded_queries, 1);
+        assert_eq!(gc.health_snapshot().degraded_queries, 1);
+        // an unbudgeted rerun is exact and cacheable again
+        let full = gc.execute(&q, QueryKind::Subgraph);
+        assert!(full.metrics.degraded.is_none());
+        assert_eq!(full.answer, oracle.answer);
+        assert_eq!(gc.occupancy(), (0, 1));
+    }
+
+    #[test]
+    fn injected_query_panic_is_contained_and_retried() {
+        let mut gc = GraphCachePlus::new(config(), dataset());
+        gc.set_fault_injector(Arc::new(FaultInjector::new(
+            "panic-query@1".parse().unwrap(),
+        )));
+        let q = g(vec![0, 0], &[(0, 1)]);
+        let oracle = baseline_execute(gc.store(), &gc.config().method, &q, QueryKind::Subgraph);
+        let out = quiet_panics(|| gc.execute_isolated(&q, QueryKind::Subgraph));
+        assert_eq!(
+            out.answer, oracle.answer,
+            "retry produced the oracle answer"
+        );
+        assert!(out.metrics.degraded.is_none());
+        assert_eq!(out.metrics.panics_recovered, 1);
+        assert_eq!(gc.health_snapshot().panics_recovered, 1);
+    }
+
+    #[test]
+    fn injected_update_panic_is_contained_and_retried() {
+        let mut gc = GraphCachePlus::new(config(), dataset());
+        gc.set_fault_injector(Arc::new(FaultInjector::new(
+            "panic-update@1".parse().unwrap(),
+        )));
+        let added = quiet_panics(|| {
+            gc.apply_isolated(ChangeOp::Add(g(vec![0, 0, 0], &[(0, 1)])))
+                .unwrap()
+        });
+        assert_eq!(added, 4);
+        assert_eq!(gc.health_snapshot().panics_recovered, 1);
+        // the retried ADD is fully visible to queries
+        let out = gc.execute(&g(vec![0, 0], &[(0, 1)]), QueryKind::Subgraph);
+        assert_eq!(out.answer.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn auditor_repairs_injected_corruption() {
+        let mut gc = GraphCachePlus::new(config(), dataset());
+        let q = g(vec![0, 0], &[(0, 1)]);
+        gc.execute(&q, QueryKind::Subgraph);
+        // corrupt the resident entry's answer bit for graph 0 right after
+        // the next (unrelated) update commits
+        gc.set_fault_injector(Arc::new(FaultInjector::new("corrupt@1:0".parse().unwrap())));
+        gc.apply(ChangeOp::Add(g(vec![1, 1, 1], &[(0, 1), (1, 2)])))
+            .unwrap();
+        let report = gc.audit(1.0, 42);
+        assert_eq!(report.repaired, 1);
+        assert_eq!(report.evicted, 0);
+        assert_eq!(gc.quarantined_entries(), 0);
+        assert_eq!(gc.health_snapshot().audit_repairs, 1);
+        // post-repair the entry serves the oracle answer again
+        let out = gc.execute(&q, QueryKind::Subgraph);
+        assert!(out.metrics.hits.exact_match);
+        assert_eq!(out.answer.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn auditor_evicts_divergent_entries_when_asked() {
+        let mut gc = GraphCachePlus::new(config(), dataset());
+        let q = g(vec![0, 0], &[(0, 1)]);
+        gc.execute(&q, QueryKind::Subgraph);
+        gc.set_fault_injector(Arc::new(FaultInjector::new("corrupt@1:0".parse().unwrap())));
+        gc.apply(ChangeOp::Add(g(vec![1, 1], &[(0, 1)]))).unwrap();
+        let report = gc.audit_with(1.0, 7, false);
+        assert_eq!(report.evicted, 1);
+        assert_eq!(report.repaired, 0);
+        assert_eq!(gc.occupancy(), (0, 0));
+        assert_eq!(gc.quarantined_entries(), 0);
+        assert_eq!(gc.health_snapshot().audit_evictions, 1);
+    }
+
+    #[test]
+    fn quarantined_entries_stop_serving_until_audited() {
+        let mut gc = GraphCachePlus::new(config(), dataset());
+        let q = g(vec![0, 0], &[(0, 1)]);
+        gc.execute(&q, QueryKind::Subgraph);
+        assert_eq!(gc.quarantine_related(&q, QueryKind::Subgraph), 1);
+        assert_eq!(gc.quarantined_entries(), 1);
+        assert_eq!(gc.health_snapshot().quarantined_entries, 1);
+        // the quarantined twin serves no hits: full scan, no exact match
+        let out = gc.execute(&q, QueryKind::Subgraph);
+        assert!(!out.metrics.hits.exact_match);
+        assert_eq!(out.metrics.subiso_tests, 4);
+        assert_eq!(out.answer.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2]);
+        // the auditor always re-verifies quarantined entries, even at
+        // sampling rate zero, and clears the clean ones
+        let report = gc.audit(0.0, 9);
+        assert_eq!(report.sampled, 1);
+        assert_eq!(report.clean, 1);
+        assert_eq!(gc.quarantined_entries(), 0);
+    }
+
+    #[test]
+    fn repeated_panic_falls_back_to_baseline() {
+        // two consecutive injected panics: the isolated path must bypass
+        // the cache and still return the exact store answer
+        let mut gc = GraphCachePlus::new(config(), dataset());
+        gc.set_fault_injector(Arc::new(FaultInjector::new(
+            "panic-query@1;panic-query@2".parse().unwrap(),
+        )));
+        let q = g(vec![0, 0], &[(0, 1)]);
+        let oracle = baseline_execute(gc.store(), &gc.config().method, &q, QueryKind::Subgraph);
+        let out = quiet_panics(|| gc.execute_isolated(&q, QueryKind::Subgraph));
+        assert_eq!(out.answer, oracle.answer);
+        assert!(out.metrics.degraded.is_none(), "baseline answers are exact");
+        assert_eq!(out.metrics.panics_recovered, 2);
+        assert_eq!(gc.health_snapshot().panics_recovered, 2);
     }
 }

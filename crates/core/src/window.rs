@@ -75,6 +75,19 @@ impl Window {
     pub fn clear(&mut self) {
         self.entries.clear();
     }
+
+    /// Number of windowed entries currently under quarantine.
+    pub fn quarantined_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.quarantined).count()
+    }
+
+    /// Drops every windowed entry matching `pred` (order-preserving) and
+    /// returns how many were removed — the auditor's eviction primitive.
+    pub fn evict_where(&mut self, mut pred: impl FnMut(&CachedQuery) -> bool) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| !pred(e));
+        before - self.entries.len()
+    }
 }
 
 #[cfg(test)]
@@ -120,6 +133,18 @@ mod tests {
         w.clear();
         assert!(w.is_empty());
         assert_eq!(w.iter().count(), 0);
+    }
+
+    #[test]
+    fn quarantine_bookkeeping_and_targeted_eviction() {
+        let mut w = Window::new(5);
+        w.push(entry());
+        w.push(entry());
+        w.get_mut(0).unwrap().quarantined = true;
+        assert_eq!(w.quarantined_count(), 1);
+        assert_eq!(w.evict_where(|e| e.quarantined), 1);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.quarantined_count(), 0);
     }
 
     #[test]

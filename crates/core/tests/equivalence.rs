@@ -111,6 +111,7 @@ fn run_equivalence(
         use_ftv_filter: seed.is_multiple_of(2),
         // a third of the runs exercise the parallel probe path
         probe_parallelism: if seed.is_multiple_of(3) { 4 } else { 1 },
+        ..GcConfig::default()
     };
     let mut gc = GraphCachePlus::new(config, initial.clone());
     let oracle_method = MethodM::new(Algorithm::Vf2);

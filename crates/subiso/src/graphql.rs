@@ -25,6 +25,7 @@
 use gc_graph::{Label, LabeledGraph, VertexId};
 
 use crate::bipartite::has_saturating_matching;
+use crate::cancel::{CancelToken, Interrupt, CHECK_INTERVAL};
 use crate::{MatchStats, SubgraphMatcher};
 
 const UNMAPPED: u32 = u32::MAX;
@@ -86,6 +87,10 @@ struct GqlSearch<'g> {
     map: Vec<u32>,
     used: Vec<bool>,
     nodes: u64,
+    /// Optional budget; consulted every [`CHECK_INTERVAL`] expanded nodes.
+    token: Option<&'g CancelToken>,
+    /// Set when the token fired; makes the recursion unwind promptly.
+    interrupted: Option<Interrupt>,
 }
 
 impl GqlSearch<'_> {
@@ -98,7 +103,18 @@ impl GqlSearch<'_> {
         // refinement, and cloning sidesteps simultaneous-borrow issues
         let cands = self.candidates[u as usize].clone();
         for v in cands {
+            if self.interrupted.is_some() {
+                return false;
+            }
             self.nodes += 1;
+            if self.nodes & (CHECK_INTERVAL - 1) == 0 {
+                if let Some(token) = self.token {
+                    if let Err(interrupt) = token.check() {
+                        self.interrupted = Some(interrupt);
+                        return false;
+                    }
+                }
+            }
             if self.feasible(u, v) {
                 self.map[u as usize] = v;
                 self.used[v as usize] = true;
@@ -241,17 +257,37 @@ impl GraphQl {
         pattern: &LabeledGraph,
         target: &LabeledGraph,
     ) -> (Option<Vec<VertexId>>, MatchStats) {
+        match self.run_budgeted(pattern, target, None) {
+            Ok(r) => r,
+            // without a token the search cannot be interrupted
+            Err(_) => unreachable!("interrupt without an attached token"),
+        }
+    }
+
+    /// Runs under an optional budget. `Err` means the search was cut short
+    /// and the (non-)existence of an embedding is *unknown*. The candidate
+    /// construction phases are polynomial and run to completion; only the
+    /// exponential search phase carries checkpoints.
+    fn run_budgeted(
+        &self,
+        pattern: &LabeledGraph,
+        target: &LabeledGraph,
+        token: Option<&CancelToken>,
+    ) -> Result<(Option<Vec<VertexId>>, MatchStats), Interrupt> {
+        if let Some(t) = token {
+            t.check()?;
+        }
         if pattern.vertex_count() > target.vertex_count()
             || pattern.edge_count() > target.edge_count()
         {
-            return (None, MatchStats::default());
+            return Ok((None, MatchStats::default()));
         }
         if pattern.vertex_count() == 0 {
-            return (Some(Vec::new()), MatchStats::default());
+            return Ok((Some(Vec::new()), MatchStats::default()));
         }
         let candidates = match self.build_candidates(pattern, target) {
             Some(c) => c,
-            None => return (None, MatchStats::default()),
+            None => return Ok((None, MatchStats::default())),
         };
         let order = Self::search_order(pattern, &candidates);
         let mut s = GqlSearch {
@@ -262,13 +298,18 @@ impl GraphQl {
             map: vec![UNMAPPED; pattern.vertex_count()],
             used: vec![false; target.vertex_count()],
             nodes: 0,
+            token,
+            interrupted: None,
         };
         let found = s.search(0);
+        if let Some(interrupt) = s.interrupted {
+            return Err(interrupt);
+        }
         let stats = MatchStats { nodes: s.nodes };
         if found {
-            (Some(s.map), stats)
+            Ok((Some(s.map), stats))
         } else {
-            (None, stats)
+            Ok((None, stats))
         }
     }
 }
@@ -293,6 +334,16 @@ impl SubgraphMatcher for GraphQl {
         target: &LabeledGraph,
     ) -> Option<Vec<VertexId>> {
         self.run(pattern, target).0
+    }
+
+    fn contains_budgeted(
+        &self,
+        pattern: &LabeledGraph,
+        target: &LabeledGraph,
+        token: &CancelToken,
+    ) -> Result<bool, Interrupt> {
+        self.run_budgeted(pattern, target, Some(token))
+            .map(|(embedding, _)| embedding.is_some())
     }
 }
 

@@ -35,6 +35,7 @@
 
 pub mod bipartite;
 pub mod bruteforce;
+pub mod cancel;
 pub mod filter;
 pub mod graphql;
 pub mod method;
@@ -42,6 +43,7 @@ pub mod parallel;
 pub mod vf2;
 pub mod vf2plus;
 
+pub use cancel::{CancelToken, Interrupt};
 pub use method::{MethodAnswer, MethodM, QueryKind};
 
 use gc_graph::{LabeledGraph, VertexId};
@@ -70,6 +72,21 @@ pub trait SubgraphMatcher: Send + Sync {
     /// Does `pattern ⊆ target`?
     fn contains(&self, pattern: &LabeledGraph, target: &LabeledGraph) -> bool {
         self.contains_with_stats(pattern, target).0
+    }
+
+    /// Budgeted decision: like [`contains`](Self::contains), but consults
+    /// `token` at search checkpoints and unwinds with an [`Interrupt`] when
+    /// the budget is exhausted. The default implementation checks the token
+    /// once up front and then runs to completion — engines with a search
+    /// loop override it with true mid-search cancellation.
+    fn contains_budgeted(
+        &self,
+        pattern: &LabeledGraph,
+        target: &LabeledGraph,
+        token: &CancelToken,
+    ) -> Result<bool, Interrupt> {
+        token.check()?;
+        Ok(self.contains(pattern, target))
     }
 
     /// Finds one embedding `φ` (pattern vertex id → target vertex id), if

@@ -33,8 +33,11 @@
 //!   order, so answers, test counts and skip counts are bit-identical to
 //!   the sequential scan.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use gc_graph::{BitSet, GraphSource, LabeledGraph};
 
+use crate::cancel::{CancelToken, Interrupt};
 use crate::parallel::parallel_map_indexed;
 use crate::Algorithm;
 
@@ -70,6 +73,22 @@ pub struct MethodAnswer {
     /// Of `tests`, how many were decided negatively by the O(1) signature
     /// pre-filter without running the matcher.
     pub prefilter_skips: u64,
+    /// `Some` when the scan stopped before deciding every candidate
+    /// (budget exhausted, cancellation, or a contained worker panic). The
+    /// `answer` is then a *sound but possibly incomplete* subset — every
+    /// set bit is a verified positive, but unexamined candidates may be
+    /// missing. `None` means the answer is exact.
+    pub interrupted: Option<Interrupt>,
+    /// Candidates whose sub-iso test panicked; the panic was contained and
+    /// the candidate left undecided (also reflected in `interrupted`).
+    pub panics_recovered: u64,
+}
+
+impl MethodAnswer {
+    /// Is the answer exact (every candidate decided)?
+    pub fn is_exact(&self) -> bool {
+        self.interrupted.is_none()
+    }
 }
 
 /// Method M: an SI algorithm plus a scan strategy.
@@ -126,24 +145,31 @@ impl MethodM {
     }
 
     /// Decides one candidate, going through the pre-filter stage first.
-    /// Returns `(contained, prefilter_skipped)`.
+    /// Returns `(contained, prefilter_skipped)`; `Err` means the budget
+    /// fired mid-test and the candidate is undecided.
     #[inline]
     fn decide_filtered(
         &self,
         query: &LabeledGraph,
         kind: QueryKind,
         dataset_graph: &LabeledGraph,
-    ) -> (bool, bool) {
+        token: &CancelToken,
+    ) -> Result<(bool, bool), Interrupt> {
         if self.prefilter {
             let feasible = match kind {
                 QueryKind::Subgraph => dataset_graph.signature().dominates(query.signature()),
                 QueryKind::Supergraph => query.signature().dominates(dataset_graph.signature()),
             };
             if !feasible {
-                return (false, true);
+                return Ok((false, true));
             }
         }
-        (self.decide(query, kind, dataset_graph), false)
+        let m = self.algorithm.matcher();
+        let contained = match kind {
+            QueryKind::Subgraph => m.contains_budgeted(query, dataset_graph, token)?,
+            QueryKind::Supergraph => m.contains_budgeted(dataset_graph, query, token)?,
+        };
+        Ok((contained, false))
     }
 
     /// Scans `candidates` (ids into `source`), running one sub-iso test per
@@ -156,34 +182,64 @@ impl MethodM {
         source: &S,
         candidates: &BitSet,
     ) -> MethodAnswer {
+        self.run_budgeted(
+            query,
+            kind,
+            source,
+            candidates,
+            CancelToken::unlimited_ref(),
+        )
+    }
+
+    /// Budgeted scan. Every candidate is charged against `token` before
+    /// its test; a fired budget stops the scan, and a test that *panics*
+    /// is contained ([`catch_unwind`]) with its candidate left undecided
+    /// while the rest of the scan proceeds. Either way the returned
+    /// [`MethodAnswer`] is tagged via `interrupted`: its answer bits are
+    /// verified positives, but the set may be incomplete — callers must
+    /// not treat it as exact or admit it into a cache.
+    pub fn run_budgeted<S: GraphSource + Sync + ?Sized>(
+        &self,
+        query: &LabeledGraph,
+        kind: QueryKind,
+        source: &S,
+        candidates: &BitSet,
+        token: &CancelToken,
+    ) -> MethodAnswer {
         if self.parallelism <= 1 {
-            return self.run_sequential(query, kind, source, candidates);
+            return self.run_sequential(query, kind, source, candidates, token);
         }
         let ids: Vec<usize> = candidates.iter_ones().collect();
         if ids.len() < 2 * self.parallelism {
-            return self.run_sequential(query, kind, source, candidates);
+            return self.run_sequential(query, kind, source, candidates, token);
         }
-        // (present, contained, skipped) per candidate, in id order
         let verdicts = parallel_map_indexed(ids.len(), self.parallelism, |i| {
-            match source.graph(ids[i]) {
-                Some(g) => {
-                    let (contained, skipped) = self.decide_filtered(query, kind, g);
-                    (true, contained, skipped)
-                }
-                None => (false, false, false),
-            }
+            self.examine(query, kind, source, ids[i], token)
         });
         let mut answer = BitSet::new();
         let mut tests = 0u64;
         let mut prefilter_skips = 0u64;
-        for (i, &(present, contained, skipped)) in verdicts.iter().enumerate() {
-            if present {
-                tests += 1;
-                if contained {
-                    answer.set(ids[i], true);
+        let mut interrupted = None;
+        let mut panics_recovered = 0u64;
+        for (i, verdict) in verdicts.iter().enumerate() {
+            match *verdict {
+                Verdict::Missing => {}
+                Verdict::Decided { contained, skipped } => {
+                    tests += 1;
+                    if contained {
+                        answer.set(ids[i], true);
+                    }
+                    if skipped {
+                        prefilter_skips += 1;
+                    }
                 }
-                if skipped {
-                    prefilter_skips += 1;
+                Verdict::Interrupted(interrupt) => {
+                    interrupted.get_or_insert(interrupt);
+                }
+                Verdict::Panicked => {
+                    tests += 1;
+                    panics_recovered += 1;
+                    interrupted.get_or_insert(Interrupt::Panic);
                 }
             }
         }
@@ -191,6 +247,8 @@ impl MethodM {
             answer,
             tests,
             prefilter_skips,
+            interrupted,
+            panics_recovered,
         }
     }
 
@@ -200,19 +258,35 @@ impl MethodM {
         kind: QueryKind,
         source: &S,
         candidates: &BitSet,
+        token: &CancelToken,
     ) -> MethodAnswer {
         let mut answer = BitSet::new();
         let mut tests = 0u64;
         let mut prefilter_skips = 0u64;
+        let mut interrupted = None;
+        let mut panics_recovered = 0u64;
         for id in candidates.iter_ones() {
-            if let Some(g) = source.graph(id) {
-                tests += 1;
-                let (contained, skipped) = self.decide_filtered(query, kind, g);
-                if contained {
-                    answer.set(id, true);
+            match self.examine(query, kind, source, id, token) {
+                Verdict::Missing => {}
+                Verdict::Decided { contained, skipped } => {
+                    tests += 1;
+                    if contained {
+                        answer.set(id, true);
+                    }
+                    if skipped {
+                        prefilter_skips += 1;
+                    }
                 }
-                if skipped {
-                    prefilter_skips += 1;
+                Verdict::Interrupted(interrupt) => {
+                    interrupted = Some(interrupt);
+                    break;
+                }
+                Verdict::Panicked => {
+                    // the test crashed: contain it, leave the candidate
+                    // undecided, keep scanning the rest
+                    tests += 1;
+                    panics_recovered += 1;
+                    interrupted.get_or_insert(Interrupt::Panic);
                 }
             }
         }
@@ -220,8 +294,52 @@ impl MethodM {
             answer,
             tests,
             prefilter_skips,
+            interrupted,
+            panics_recovered,
         }
     }
+
+    /// Examines one candidate: fetch, charge the budget, decide. The whole
+    /// step runs inside [`catch_unwind`] so a panic anywhere in it (the
+    /// source, the pre-filter, the matcher) is contained to this candidate.
+    fn examine<S: GraphSource + ?Sized>(
+        &self,
+        query: &LabeledGraph,
+        kind: QueryKind,
+        source: &S,
+        id: usize,
+        token: &CancelToken,
+    ) -> Verdict {
+        let step = catch_unwind(AssertUnwindSafe(
+            || -> Result<Option<(bool, bool)>, Interrupt> {
+                match source.graph(id) {
+                    None => Ok(None),
+                    Some(g) => {
+                        token.charge_test()?;
+                        self.decide_filtered(query, kind, g, token).map(Some)
+                    }
+                }
+            },
+        ));
+        match step {
+            Ok(Ok(None)) => Verdict::Missing,
+            Ok(Ok(Some((contained, skipped)))) => Verdict::Decided { contained, skipped },
+            Ok(Err(interrupt)) => Verdict::Interrupted(interrupt),
+            Err(_) => Verdict::Panicked,
+        }
+    }
+}
+
+/// Per-candidate outcome of one scan step.
+enum Verdict {
+    /// Id not present in the source (deleted graph).
+    Missing,
+    /// Test completed.
+    Decided { contained: bool, skipped: bool },
+    /// Budget fired before or during the test; candidate undecided.
+    Interrupted(Interrupt),
+    /// The step panicked; contained, candidate undecided.
+    Panicked,
 }
 
 #[cfg(test)]
@@ -363,6 +481,116 @@ mod tests {
             assert_eq!(seq_off, par_off, "algo {algo} (prefilter off)");
             assert_eq!(seq.answer, seq_off.answer);
         }
+    }
+
+    #[test]
+    fn budgeted_run_with_unlimited_token_is_exact() {
+        let data = dataset();
+        let query = g(vec![0, 0], &[(0, 1)]);
+        let m = MethodM::new(Algorithm::Vf2);
+        let cands = BitSet::from_indices(0..4);
+        let plain = m.run(&query, QueryKind::Subgraph, &data, &cands);
+        let token = CancelToken::unlimited();
+        let budgeted = m.run_budgeted(&query, QueryKind::Subgraph, &data, &cands, &token);
+        assert_eq!(plain, budgeted);
+        assert!(budgeted.is_exact());
+        assert_eq!(budgeted.panics_recovered, 0);
+        assert_eq!(token.tests_charged(), 4);
+    }
+
+    #[test]
+    fn test_cap_stops_scan_with_partial_sound_answer() {
+        let data = dataset();
+        let query = g(vec![0, 0], &[(0, 1)]);
+        let m = MethodM::new(Algorithm::Vf2);
+        let cands = BitSet::from_indices(0..4);
+        let token = CancelToken::new(None, Some(2));
+        let r = m.run_budgeted(&query, QueryKind::Subgraph, &data, &cands, &token);
+        assert_eq!(r.interrupted, Some(Interrupt::TestCap));
+        assert!(!r.is_exact());
+        assert_eq!(r.tests, 2, "only the charged candidates were examined");
+        // partial answer is a sound subset of the exact one
+        let exact = m.run(&query, QueryKind::Subgraph, &data, &cands);
+        for id in r.answer.iter_ones() {
+            assert!(
+                exact.answer.get(id),
+                "partial bit {id} must be a true positive"
+            );
+        }
+    }
+
+    #[test]
+    fn cancelled_token_stops_scan_immediately() {
+        let data = dataset();
+        let query = g(vec![0, 0], &[(0, 1)]);
+        let m = MethodM::new(Algorithm::Vf2Plus);
+        let cands = BitSet::from_indices(0..4);
+        let token = CancelToken::unlimited();
+        token.cancel();
+        let r = m.run_budgeted(&query, QueryKind::Subgraph, &data, &cands, &token);
+        assert_eq!(r.interrupted, Some(Interrupt::Cancelled));
+        assert_eq!(r.tests, 0);
+        assert!(r.answer.iter_ones().next().is_none());
+    }
+
+    #[test]
+    fn expired_deadline_degrades_scan() {
+        use std::time::{Duration, Instant};
+        let data = dataset();
+        let query = g(vec![0, 0], &[(0, 1)]);
+        let m = MethodM::new(Algorithm::GraphQl);
+        let cands = BitSet::from_indices(0..4);
+        let token = CancelToken::new(Some(Instant::now() - Duration::from_millis(1)), None);
+        let r = m.run_budgeted(&query, QueryKind::Subgraph, &data, &cands, &token);
+        assert_eq!(r.interrupted, Some(Interrupt::Deadline));
+    }
+
+    /// A graph source that panics the first time a chosen id is fetched —
+    /// models a one-shot storage-layer fault under a candidate scan.
+    struct OneShotPanicSource {
+        data: Vec<LabeledGraph>,
+        panic_id: usize,
+        fired: std::sync::atomic::AtomicBool,
+    }
+
+    impl gc_graph::GraphSource for OneShotPanicSource {
+        fn graph(&self, id: usize) -> Option<&LabeledGraph> {
+            use std::sync::atomic::Ordering;
+            if id == self.panic_id && !self.fired.swap(true, Ordering::SeqCst) {
+                panic!("injected storage fault at id {id}");
+            }
+            self.data.get(id)
+        }
+        fn id_span(&self) -> usize {
+            self.data.len()
+        }
+    }
+
+    #[test]
+    fn sequential_scan_contains_panicking_candidate() {
+        let src = OneShotPanicSource {
+            data: dataset(),
+            panic_id: 1,
+            fired: std::sync::atomic::AtomicBool::new(false),
+        };
+        let query = g(vec![0, 0], &[(0, 1)]);
+        let m = MethodM::new(Algorithm::Vf2);
+        let cands = BitSet::from_indices(0..4);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the injected panic
+        let r = m.run_budgeted(
+            &query,
+            QueryKind::Subgraph,
+            &src,
+            &cands,
+            CancelToken::unlimited_ref(),
+        );
+        std::panic::set_hook(prev);
+        assert_eq!(r.interrupted, Some(Interrupt::Panic));
+        assert_eq!(r.panics_recovered, 1);
+        // the faulty candidate is undecided, the rest were still scanned
+        assert_eq!(r.tests, 4);
+        assert_eq!(r.answer.iter_ones().collect::<Vec<_>>(), vec![0, 2]);
     }
 
     #[test]

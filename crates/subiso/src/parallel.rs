@@ -13,6 +13,7 @@
 //! test can be orders of magnitude slower than a hit) does not stall a
 //! statically assigned chunk behind it.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Indices claimed per atomic fetch; amortizes cursor contention without
@@ -23,6 +24,13 @@ const BATCH: usize = 16;
 /// returns the results ordered by index. Falls back to a plain sequential
 /// map when `threads <= 1` or `n` is small enough that spawning would cost
 /// more than it saves.
+///
+/// **Panic isolation:** a panic inside `f(i)` is contained per item — it
+/// cannot take down the worker's whole batch or the scope. Panicked
+/// indices are retried once, sequentially, on the calling thread; a second
+/// panic for the same index propagates to the caller (a deterministic
+/// failure is a real bug, not a transient fault). This keeps the "full
+/// `Vec`, index order" contract intact under one-shot faults.
 pub fn parallel_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -35,7 +43,7 @@ where
     let cursor = AtomicUsize::new(0);
     let fref = &f;
     let cref = &cursor;
-    let mut per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+    let mut per_worker: Vec<Vec<(usize, Option<T>)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(move || {
@@ -46,7 +54,10 @@ where
                             break;
                         }
                         for i in start..(start + BATCH).min(n) {
-                            out.push((i, fref(i)));
+                            // contain per-item panics; `None` marks the
+                            // index for the sequential retry below
+                            let item = catch_unwind(AssertUnwindSafe(|| fref(i))).ok();
+                            out.push((i, item));
                         }
                     }
                     out
@@ -55,15 +66,24 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("scan worker panicked"))
+            // worker bodies catch all unwinds per item, so a join failure
+            // is unreachable in practice
+            .map(|h| h.join().expect("scan worker panicked outside item"))
             .collect()
     });
-    let mut merged: Vec<(usize, T)> = Vec::with_capacity(n);
+    let mut merged: Vec<(usize, Option<T>)> = Vec::with_capacity(n);
     for chunk in &mut per_worker {
         merged.append(chunk);
     }
     merged.sort_unstable_by_key(|&(i, _)| i);
-    merged.into_iter().map(|(_, t)| t).collect()
+    merged
+        .into_iter()
+        .map(|(i, item)| match item {
+            Some(t) => t,
+            // retry once on the caller thread; a repeat panic propagates
+            None => f(i),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -79,6 +99,26 @@ mod tests {
                 assert_eq!(got, expected, "threads={threads} n={n}");
             }
         }
+    }
+
+    #[test]
+    fn one_shot_item_panic_is_retried() {
+        use std::sync::atomic::AtomicBool;
+        // item 23 panics exactly once; the retry pass must heal it and the
+        // result vector must come back complete and ordered
+        let fired = AtomicBool::new(false);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the injected panic
+        let got = parallel_map_indexed(64, 4, |i| {
+            if i == 23 && !fired.swap(true, Ordering::SeqCst) {
+                panic!("injected");
+            }
+            i * 2
+        });
+        std::panic::set_hook(prev);
+        let expected: Vec<usize> = (0..64).map(|i| i * 2).collect();
+        assert_eq!(got, expected);
+        assert!(fired.load(Ordering::SeqCst));
     }
 
     #[test]

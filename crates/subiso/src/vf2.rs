@@ -26,6 +26,7 @@
 
 use gc_graph::{LabeledGraph, VertexId};
 
+use crate::cancel::{CancelToken, Interrupt, CHECK_INTERVAL};
 use crate::{MatchStats, SubgraphMatcher};
 
 const UNMAPPED: u32 = u32::MAX;
@@ -56,6 +57,10 @@ pub(crate) struct Vf2Engine<'g> {
     /// Per target vertex: number of used neighbors.
     t_tgt: Vec<u32>,
     nodes: u64,
+    /// Optional budget; consulted every [`CHECK_INTERVAL`] expanded nodes.
+    token: Option<&'g CancelToken>,
+    /// Set when the token fired; makes the recursion unwind promptly.
+    interrupted: Option<Interrupt>,
 }
 
 impl<'g> Vf2Engine<'g> {
@@ -79,22 +84,44 @@ impl<'g> Vf2Engine<'g> {
             t_pat: vec![0; pattern.vertex_count()],
             t_tgt: vec![0; target.vertex_count()],
             nodes: 0,
+            token: None,
+            interrupted: None,
         }
     }
 
+    /// Attaches a cancellation token; the search then checks it every
+    /// [`CHECK_INTERVAL`] expanded nodes.
+    pub(crate) fn with_token(mut self, token: &'g CancelToken) -> Self {
+        self.token = Some(token);
+        self
+    }
+
     /// Runs the search; returns the embedding if one exists.
-    pub(crate) fn run(mut self) -> (Option<Vec<VertexId>>, MatchStats) {
+    pub(crate) fn run(self) -> (Option<Vec<VertexId>>, MatchStats) {
+        match self.run_budgeted() {
+            Ok(r) => r,
+            // without a token the search cannot be interrupted
+            Err(_) => unreachable!("interrupt without an attached token"),
+        }
+    }
+
+    /// Runs the search under the attached budget. `Err` means the search
+    /// was cut short and the (non-)existence of an embedding is *unknown*.
+    pub(crate) fn run_budgeted(mut self) -> Result<(Option<Vec<VertexId>>, MatchStats), Interrupt> {
         if self.pattern.vertex_count() > self.target.vertex_count()
             || self.pattern.edge_count() > self.target.edge_count()
         {
-            return (None, MatchStats { nodes: 0 });
+            return Ok((None, MatchStats { nodes: 0 }));
         }
         let found = self.search(0);
+        if let Some(interrupt) = self.interrupted {
+            return Err(interrupt);
+        }
         let stats = MatchStats { nodes: self.nodes };
         if found {
-            (Some(self.map), stats)
+            Ok((Some(self.map), stats))
         } else {
-            (None, stats)
+            Ok((None, stats))
         }
     }
 
@@ -119,6 +146,9 @@ impl<'g> Vf2Engine<'g> {
                 // does not borrow `self` and the mutable recursion is fine.
                 let target = self.target;
                 for &v in target.neighbors(img) {
+                    if self.interrupted.is_some() {
+                        return false;
+                    }
                     if self.try_extend(u, v, depth) {
                         return true;
                     }
@@ -126,6 +156,9 @@ impl<'g> Vf2Engine<'g> {
             }
             None => {
                 for v in 0..self.target.vertex_count() as VertexId {
+                    if self.interrupted.is_some() {
+                        return false;
+                    }
                     if self.try_extend(u, v, depth) {
                         return true;
                     }
@@ -137,6 +170,14 @@ impl<'g> Vf2Engine<'g> {
 
     fn try_extend(&mut self, u: VertexId, v: VertexId, depth: usize) -> bool {
         self.nodes += 1;
+        if self.nodes & (CHECK_INTERVAL - 1) == 0 {
+            if let Some(token) = self.token {
+                if let Err(interrupt) = token.check() {
+                    self.interrupted = Some(interrupt);
+                    return false;
+                }
+            }
+        }
         if !self.feasible(u, v) {
             return false;
         }
@@ -339,6 +380,18 @@ impl SubgraphMatcher for Vf2 {
         target: &LabeledGraph,
     ) -> Option<Vec<VertexId>> {
         Vf2Engine::new(pattern, target, Self::OPTS).run().0
+    }
+
+    fn contains_budgeted(
+        &self,
+        pattern: &LabeledGraph,
+        target: &LabeledGraph,
+        token: &CancelToken,
+    ) -> Result<bool, Interrupt> {
+        Vf2Engine::new(pattern, target, Self::OPTS)
+            .with_token(token)
+            .run_budgeted()
+            .map(|(embedding, _)| embedding.is_some())
     }
 }
 

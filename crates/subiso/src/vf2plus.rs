@@ -19,6 +19,7 @@
 
 use gc_graph::{LabeledGraph, VertexId};
 
+use crate::cancel::{CancelToken, Interrupt};
 use crate::vf2::{EngineOptions, Vf2Engine};
 use crate::{MatchStats, SubgraphMatcher};
 
@@ -54,6 +55,18 @@ impl SubgraphMatcher for Vf2Plus {
         target: &LabeledGraph,
     ) -> Option<Vec<VertexId>> {
         Vf2Engine::new(pattern, target, Self::OPTS).run().0
+    }
+
+    fn contains_budgeted(
+        &self,
+        pattern: &LabeledGraph,
+        target: &LabeledGraph,
+        token: &CancelToken,
+    ) -> Result<bool, Interrupt> {
+        Vf2Engine::new(pattern, target, Self::OPTS)
+            .with_token(token)
+            .run_budgeted()
+            .map(|(embedding, _)| embedding.is_some())
     }
 }
 
