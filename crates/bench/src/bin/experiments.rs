@@ -20,7 +20,11 @@
 //!                deterministic fault plan (override with GC_FAULT_PLAN)
 //!                against a fault-free oracle; writes CHAOS_report.json
 //!                and exits non-zero on silent divergence, deadline
-//!                overrun > 2x, or leftover quarantined entries
+//!                overrun > 2x, or leftover quarantined entries; with
+//!                --net, drives the real loopback TCP server instead: a
+//!                Zipf storm of concurrent clients under dropped
+//!                connections, delayed frames, a stalled shard and a
+//!                twice-panicking shard (failover + audited rejoin)
 //!   all          everything above (except bench-subiso and chaos)
 //! ```
 
@@ -37,7 +41,7 @@ use gc_subiso::Algorithm;
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <fig4-typea|fig4-typeb|fig5|fig6|insights|dataset|ablation|bench-subiso|chaos|all> \
-         [--scale small|medium|paper] [--quick] [--out PATH]"
+         [--scale small|medium|paper] [--quick] [--net] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -66,6 +70,7 @@ fn main() {
     }
     let mut scale = Scale::medium();
     let mut quick = false;
+    let mut net = false;
     let mut out_path = String::from(if command == "chaos" {
         "CHAOS_report.json"
     } else {
@@ -83,6 +88,7 @@ fn main() {
                 });
             }
             "--quick" => quick = true,
+            "--net" => net = true,
             "--out" => {
                 i += 1;
                 out_path = args.get(i).unwrap_or_else(|| usage()).clone();
@@ -100,7 +106,11 @@ fn main() {
         return;
     }
     if command == "chaos" {
-        chaos(scale, &out_path);
+        if net {
+            net_chaos(scale, &out_path);
+        } else {
+            chaos(scale, &out_path);
+        }
         return;
     }
 
@@ -241,6 +251,91 @@ fn chaos(scale: Scale, out_path: &str) {
     if !report.passed() {
         eprintln!(
             "chaos suite FAILED: silent divergence, deadline overrun, or leftover quarantine"
+        );
+        std::process::exit(1);
+    }
+}
+
+fn net_chaos(scale: Scale, out_path: &str) {
+    let mut cfg = gc_bench::NetChaosConfig::new(scale);
+    match gc_core::FaultPlan::from_env() {
+        Ok(Some(plan)) => cfg.fault_plan = plan,
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("invalid GC_FAULT_PLAN: {e}");
+            std::process::exit(2);
+        }
+    }
+    println!(
+        "# Networked chaos — {} shards, {} clients x {} queries/storm, deadline {} ms\nfault plan: {}\n",
+        cfg.shards,
+        cfg.clients,
+        cfg.queries_per_client,
+        cfg.deadline.as_millis(),
+        cfg.fault_plan
+    );
+    let t0 = Instant::now();
+    let report = gc_bench::run_net_chaos(&cfg);
+    let mut t = Table::new(
+        "Net chaos verdicts: loopback server vs fault-free oracle",
+        &[
+            "phase",
+            "requests",
+            "exact",
+            "degraded",
+            "divergent",
+            "errors",
+            "baseline hits",
+            "retries",
+            "max deadline ratio",
+            "hung",
+        ],
+    );
+    for (name, s) in [("storm 1", &report.storm1), ("storm 2", &report.storm2)] {
+        t.row(vec![
+            name.to_string(),
+            s.requests.to_string(),
+            s.exact.to_string(),
+            s.degraded.to_string(),
+            s.divergent.to_string(),
+            s.errors.to_string(),
+            s.baseline_hits.to_string(),
+            s.retries.to_string(),
+            f2(s.max_overrun),
+            s.hung.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "updates: {} applied, {} re-issued after provably-unexecuted drops, {} failed",
+        report.updates_applied, report.update_reissues, report.update_failures
+    );
+    println!(
+        "audit: {} sampled, {} repaired, {} evicted (second pass: {} repaired, {} evicted)",
+        report.audit.sampled,
+        report.audit.repaired,
+        report.audit.evicted,
+        report.audit_after.repaired,
+        report.audit_after.evicted
+    );
+    println!(
+        "health: {} panics contained, {} failovers, {} baseline serves, {} shed, {} degraded",
+        report.health.panics_recovered,
+        report.health.shard_failovers,
+        report.health.baseline_served,
+        report.health.load_shed,
+        report.health.degraded_queries
+    );
+    println!("wall time: {:.1}s", t0.elapsed().as_secs_f64());
+    if let Err(e) = std::fs::write(out_path, report.to_json()) {
+        eprintln!("cannot write chaos artifact '{out_path}': {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+    if !report.passed() {
+        eprintln!(
+            "net chaos FAILED: silent divergence, hung request, missing failover coverage, \
+             or a shard left unhealthy after audit"
         );
         std::process::exit(1);
     }

@@ -365,7 +365,7 @@ fn add_audit(total: &mut AuditReport, pass: AuditReport) {
 /// Runs `f` with the default panic hook silenced — injected faults are
 /// *supposed* to panic, and dozens of backtrace banners would drown the
 /// report. The hook is global, so the previous one is restored afterwards.
-fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+pub(crate) fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
     let prev = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
     let result = f();

@@ -19,6 +19,7 @@
 //! seeded; identical configurations replay identical experiments.
 
 pub mod chaos;
+pub mod netchaos;
 pub mod report;
 pub mod subiso_bench;
 
@@ -30,6 +31,7 @@ use gc_subiso::{Algorithm, MethodM};
 use gc_workload::{generate_type_a, generate_type_b, TypeAConfig, TypeBConfig, Workload};
 
 pub use chaos::{run_chaos, ChaosCell, ChaosConfig, ChaosReport};
+pub use netchaos::{run_net_chaos, NetChaosConfig, NetChaosReport, StormTally};
 pub use report::Table;
 pub use subiso_bench::{run_subiso_bench, SubisoBenchResult};
 

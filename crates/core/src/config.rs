@@ -121,6 +121,15 @@ pub struct GcConfig {
     /// Queries that exhaust the budget return an explicitly
     /// `degraded`-tagged sound partial answer instead of blocking.
     pub budget: QueryBudget,
+    /// Shard count for [`crate::ShardedGraphCache`]-based deployments
+    /// (clamped to ≥ 1). Single-shard by default.
+    pub shards: usize,
+    /// Per-shard in-flight request cap for the networked service; requests
+    /// beyond this depth are shed with an explicit `Overloaded` response.
+    pub max_inflight: usize,
+    /// Client-side retry attempts (beyond the first try) for idempotent
+    /// operations on transport errors or explicit `Retryable` responses.
+    pub retry_max: u32,
 }
 
 impl Default for GcConfig {
@@ -135,6 +144,9 @@ impl Default for GcConfig {
             use_ftv_filter: false,
             probe_parallelism: default_parallelism(),
             budget: QueryBudget::UNLIMITED,
+            shards: 1,
+            max_inflight: 64,
+            retry_max: 3,
         }
     }
 }
@@ -151,6 +163,46 @@ impl GcConfig {
             probe_parallelism: 1,
             ..GcConfig::default()
         }
+    }
+
+    /// Defaults overridden from the process environment:
+    ///
+    /// | variable          | field          | notes                          |
+    /// |-------------------|----------------|--------------------------------|
+    /// | `GC_SHARDS`       | `shards`       | clamped to ≥ 1                 |
+    /// | `GC_DEADLINE_MS`  | `budget.deadline` | `0` = unlimited             |
+    /// | `GC_MAX_INFLIGHT` | `max_inflight` | clamped to ≥ 1                 |
+    /// | `GC_RETRY_MAX`    | `retry_max`    | `0` = never retry              |
+    ///
+    /// Unset variables keep their defaults; set-but-malformed values are a
+    /// deployment bug and return an error naming the offending variable.
+    pub fn from_env() -> Result<Self, String> {
+        Self::from_env_with(|k| std::env::var(k).ok())
+    }
+
+    /// [`GcConfig::from_env`] over an arbitrary lookup function, so tests
+    /// can exercise parsing without racing on the process environment.
+    pub fn from_env_with(get: impl Fn(&str) -> Option<String>) -> Result<Self, String> {
+        fn parse<T: std::str::FromStr>(key: &str, raw: &str) -> Result<T, String> {
+            raw.trim()
+                .parse()
+                .map_err(|_| format!("{key}: invalid value '{raw}'"))
+        }
+        let mut cfg = GcConfig::default();
+        if let Some(raw) = get("GC_SHARDS") {
+            cfg.shards = parse::<usize>("GC_SHARDS", &raw)?.max(1);
+        }
+        if let Some(raw) = get("GC_DEADLINE_MS") {
+            let ms: u64 = parse("GC_DEADLINE_MS", &raw)?;
+            cfg.budget.deadline = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+        }
+        if let Some(raw) = get("GC_MAX_INFLIGHT") {
+            cfg.max_inflight = parse::<usize>("GC_MAX_INFLIGHT", &raw)?.max(1);
+        }
+        if let Some(raw) = get("GC_RETRY_MAX") {
+            cfg.retry_max = parse("GC_RETRY_MAX", &raw)?;
+        }
+        Ok(cfg)
     }
 }
 
@@ -188,6 +240,70 @@ mod tests {
         assert_eq!(CacheModel::Con.to_string(), "CON");
         assert_eq!(Policy::Hybrid.to_string(), "HD");
         assert_eq!(Policy::Pinc.name(), "PINC");
+    }
+
+    #[test]
+    fn env_defaults_when_unset() {
+        let c = GcConfig::from_env_with(|_| None).unwrap();
+        assert_eq!(c.shards, 1);
+        assert_eq!(c.max_inflight, 64);
+        assert_eq!(c.retry_max, 3);
+        assert!(c.budget.is_unlimited());
+    }
+
+    #[test]
+    fn env_round_trips() {
+        let lookup = |k: &str| -> Option<String> {
+            match k {
+                "GC_SHARDS" => Some("4".into()),
+                "GC_DEADLINE_MS" => Some("250".into()),
+                "GC_MAX_INFLIGHT" => Some("16".into()),
+                "GC_RETRY_MAX" => Some("5".into()),
+                _ => None,
+            }
+        };
+        let c = GcConfig::from_env_with(lookup).unwrap();
+        assert_eq!(c.shards, 4);
+        assert_eq!(
+            c.budget.deadline,
+            Some(std::time::Duration::from_millis(250))
+        );
+        assert_eq!(c.max_inflight, 16);
+        assert_eq!(c.retry_max, 5);
+    }
+
+    #[test]
+    fn env_zero_deadline_means_unlimited() {
+        let c = GcConfig::from_env_with(|k| (k == "GC_DEADLINE_MS").then(|| "0".into())).unwrap();
+        assert_eq!(c.budget.deadline, None);
+        assert!(c.budget.is_unlimited());
+    }
+
+    #[test]
+    fn env_degenerate_values_are_clamped() {
+        let c = GcConfig::from_env_with(|k| match k {
+            "GC_SHARDS" => Some("0".into()),
+            "GC_MAX_INFLIGHT" => Some("0".into()),
+            _ => None,
+        })
+        .unwrap();
+        assert_eq!(c.shards, 1);
+        assert_eq!(c.max_inflight, 1);
+    }
+
+    #[test]
+    fn env_malformed_values_name_the_variable() {
+        let err =
+            GcConfig::from_env_with(|k| (k == "GC_SHARDS").then(|| "four".into())).unwrap_err();
+        assert!(err.contains("GC_SHARDS"), "{err}");
+        assert!(err.contains("four"), "{err}");
+        let err =
+            GcConfig::from_env_with(|k| (k == "GC_RETRY_MAX").then(|| "-1".into())).unwrap_err();
+        assert!(err.contains("GC_RETRY_MAX"), "{err}");
+        // whitespace is tolerated, garbage is not
+        assert!(
+            GcConfig::from_env_with(|k| (k == "GC_DEADLINE_MS").then(|| " 40 ".into())).is_ok()
+        );
     }
 
     #[test]

@@ -88,6 +88,30 @@ pub enum Fault {
         /// Dataset-graph id whose answer bit is flipped.
         graph_id: usize,
     },
+    /// Close the connection when the server receives its `nth` request,
+    /// before any reply is written — models a flaky link or a peer dying
+    /// mid-call. The client sees a transport error and must decide whether
+    /// the operation is safe to retry.
+    DropConn {
+        /// 1-based request ordinal.
+        nth: u64,
+    },
+    /// Sleep before replying to the `nth` request — models a congested
+    /// link or a delayed frame, exercising client-side timeouts.
+    DelayConn {
+        /// 1-based request ordinal.
+        nth: u64,
+        /// Sleep duration in milliseconds.
+        millis: u64,
+    },
+    /// Stall one shard while serving the `nth` query request: the routing
+    /// layer burns that query's remaining deadline on the stalled shard,
+    /// which must surface as an explicitly degraded (sound partial)
+    /// answer, never a hang.
+    StallShard {
+        /// 1-based request ordinal.
+        nth: u64,
+    },
 }
 
 /// A deterministic set of faults. Parse with [`FromStr`]:
@@ -98,6 +122,13 @@ pub enum Fault {
 ///
 /// means: panic on the 5th update, panic on the 12th query, sleep 50 ms
 /// before the 3rd query, and corrupt answer bit 2 after the 8th update.
+/// Network faults (interpreted by the `gc_server` front-end) use the same
+/// grammar: `drop-conn@3` closes the connection on the 3rd request,
+/// `delay-conn@7:40` sleeps 40 ms before replying to the 7th, and
+/// `stall-shard@9` stalls one shard for the 9th query request.
+///
+/// Ordinals are 1-based and must be positive; exact duplicate entries are
+/// rejected (each fault fires at most once, so a duplicate is a plan bug).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     /// The faults to inject.
@@ -127,6 +158,15 @@ fn parse_u64(s: &str, what: &str) -> Result<u64, String> {
         .map_err(|_| format!("invalid {what} '{s}' in fault plan"))
 }
 
+/// Parses a 1-based ordinal: a u64 that must be positive.
+fn parse_ordinal(s: &str, what: &str) -> Result<u64, String> {
+    let n = parse_u64(s, what)?;
+    if n == 0 {
+        return Err(format!("{what} is 1-based; 0 never fires"));
+    }
+    Ok(n)
+}
+
 impl FromStr for FaultPlan {
     type Err = String;
 
@@ -141,27 +181,43 @@ impl FromStr for FaultPlan {
             let second = nums.next();
             let fault = match name.trim() {
                 "panic-update" => Fault::PanicOnUpdate {
-                    nth: parse_u64(first, "update ordinal")?,
+                    nth: parse_ordinal(first, "update ordinal")?,
                 },
                 "panic-query" => Fault::PanicOnQuery {
-                    nth: parse_u64(first, "query ordinal")?,
+                    nth: parse_ordinal(first, "query ordinal")?,
                 },
                 "delay-query" => Fault::DelayQuery {
-                    nth: parse_u64(first, "query ordinal")?,
+                    nth: parse_ordinal(first, "query ordinal")?,
                     millis: parse_u64(
                         second.ok_or_else(|| format!("delay-query '{part}' needs ':millis'"))?,
                         "delay millis",
                     )?,
                 },
                 "corrupt" => Fault::CorruptEntry {
-                    after_update: parse_u64(first, "update ordinal")?,
+                    after_update: parse_ordinal(first, "update ordinal")?,
                     graph_id: parse_u64(
                         second.ok_or_else(|| format!("corrupt '{part}' needs ':graph_id'"))?,
                         "graph id",
                     )? as usize,
                 },
+                "drop-conn" => Fault::DropConn {
+                    nth: parse_ordinal(first, "request ordinal")?,
+                },
+                "delay-conn" => Fault::DelayConn {
+                    nth: parse_ordinal(first, "request ordinal")?,
+                    millis: parse_u64(
+                        second.ok_or_else(|| format!("delay-conn '{part}' needs ':millis'"))?,
+                        "delay millis",
+                    )?,
+                },
+                "stall-shard" => Fault::StallShard {
+                    nth: parse_ordinal(first, "request ordinal")?,
+                },
                 other => return Err(format!("unknown fault kind '{other}'")),
             };
+            if faults.contains(&fault) {
+                return Err(format!("duplicate fault entry '{part}'"));
+            }
             faults.push(fault);
         }
         Ok(FaultPlan { faults })
@@ -182,10 +238,28 @@ impl std::fmt::Display for FaultPlan {
                     after_update,
                     graph_id,
                 } => write!(f, "corrupt@{after_update}:{graph_id}")?,
+                Fault::DropConn { nth } => write!(f, "drop-conn@{nth}")?,
+                Fault::DelayConn { nth, millis } => write!(f, "delay-conn@{nth}:{millis}")?,
+                Fault::StallShard { nth } => write!(f, "stall-shard@{nth}")?,
             }
         }
         Ok(())
     }
+}
+
+/// What a networked front-end must do with one incoming request, as
+/// dictated by the fault plan. Returned by
+/// [`FaultInjector::before_request`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestDirective {
+    /// Close the connection without replying (the client sees a transport
+    /// error).
+    pub drop_conn: bool,
+    /// Sleep this long before replying.
+    pub delay: Option<Duration>,
+    /// Stall one shard for this request: route it so that the stalled
+    /// shard burns the request's remaining deadline.
+    pub stall_shard: bool,
 }
 
 /// Executes a [`FaultPlan`] against live update/query streams. All state
@@ -196,6 +270,7 @@ pub struct FaultInjector {
     plan: FaultPlan,
     updates: AtomicU64,
     queries: AtomicU64,
+    requests: AtomicU64,
 }
 
 impl FaultInjector {
@@ -205,6 +280,7 @@ impl FaultInjector {
             plan,
             updates: AtomicU64::new(0),
             queries: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
         }
     }
 
@@ -221,6 +297,31 @@ impl FaultInjector {
     /// Queries observed so far.
     pub fn queries_seen(&self) -> u64 {
         self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Requests observed so far (network-level counter).
+    pub fn requests_seen(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Hook at request receipt in a networked front-end: counts the
+    /// request and returns the network faults scheduled for this ordinal.
+    /// Unlike the panic hooks this never unwinds — connection handling
+    /// stays in the server's control.
+    pub fn before_request(&self) -> RequestDirective {
+        let n = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut directive = RequestDirective::default();
+        for fault in &self.plan.faults {
+            match *fault {
+                Fault::DropConn { nth } if nth == n => directive.drop_conn = true,
+                Fault::DelayConn { nth, millis } if nth == n => {
+                    directive.delay = Some(Duration::from_millis(millis));
+                }
+                Fault::StallShard { nth } if nth == n => directive.stall_shard = true,
+                _ => {}
+            }
+        }
+        directive
     }
 
     /// Hook before a dataset update mutates anything. Panics when the plan
@@ -284,6 +385,14 @@ pub struct HealthSnapshot {
     pub audit_repairs: u64,
     /// Divergent entries evicted by the auditor.
     pub audit_evictions: u64,
+    /// Requests shed with an explicit `Overloaded` response by the
+    /// backpressure gate (never silently dropped).
+    pub load_shed: u64,
+    /// Shards marked unhealthy by the routing layer after repeated panics.
+    pub shard_failovers: u64,
+    /// Queries (per shard) served by cache-less `baseline_execute` because
+    /// the owning shard was marked unhealthy.
+    pub baseline_served: u64,
 }
 
 /// Lock-free runtime health counters, shared via `Arc` between the cache,
@@ -295,6 +404,9 @@ pub struct RuntimeHealth {
     degraded_queries: AtomicU64,
     audit_repairs: AtomicU64,
     audit_evictions: AtomicU64,
+    load_shed: AtomicU64,
+    shard_failovers: AtomicU64,
+    baseline_served: AtomicU64,
 }
 
 impl RuntimeHealth {
@@ -323,6 +435,22 @@ impl RuntimeHealth {
         self.audit_evictions.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records one request shed with an explicit `Overloaded` response.
+    pub fn add_load_shed(&self) {
+        self.load_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one shard marked unhealthy by the routing layer.
+    pub fn add_shard_failover(&self) {
+        self.shard_failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` per-shard queries served by cache-less baseline
+    /// execution while the shard was unhealthy.
+    pub fn add_baseline_served(&self, n: u64) {
+        self.baseline_served.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// A consistent-enough snapshot (individual counters are exact; the
     /// set is not read atomically, which observers do not need).
     pub fn snapshot(&self) -> HealthSnapshot {
@@ -332,7 +460,25 @@ impl RuntimeHealth {
             degraded_queries: self.degraded_queries.load(Ordering::Relaxed),
             audit_repairs: self.audit_repairs.load(Ordering::Relaxed),
             audit_evictions: self.audit_evictions.load(Ordering::Relaxed),
+            load_shed: self.load_shed.load(Ordering::Relaxed),
+            shard_failovers: self.shard_failovers.load(Ordering::Relaxed),
+            baseline_served: self.baseline_served.load(Ordering::Relaxed),
         }
+    }
+}
+
+impl HealthSnapshot {
+    /// Field-wise sum of two snapshots (folding per-shard counters into a
+    /// deployment-wide view).
+    pub fn merge(&mut self, other: &HealthSnapshot) {
+        self.panics_recovered += other.panics_recovered;
+        self.quarantined_entries += other.quarantined_entries;
+        self.degraded_queries += other.degraded_queries;
+        self.audit_repairs += other.audit_repairs;
+        self.audit_evictions += other.audit_evictions;
+        self.load_shed += other.load_shed;
+        self.shard_failovers += other.shard_failovers;
+        self.baseline_served += other.baseline_served;
     }
 }
 
@@ -399,6 +545,92 @@ mod tests {
     }
 
     #[test]
+    fn malformed_ordinals_are_rejected() {
+        // ordinals are 1-based: 0 would never fire, so it is a plan bug
+        for plan in [
+            "panic-update@0",
+            "panic-query@0",
+            "delay-query@0:50",
+            "corrupt@0:1",
+            "drop-conn@0",
+            "delay-conn@0:10",
+            "stall-shard@0",
+        ] {
+            assert!(
+                plan.parse::<FaultPlan>().is_err(),
+                "{plan} must be rejected"
+            );
+        }
+        // negative / non-numeric / overflowing ordinals
+        assert!("panic-query@-3".parse::<FaultPlan>().is_err());
+        assert!("drop-conn@1.5".parse::<FaultPlan>().is_err());
+        assert!("delay-conn@99999999999999999999:1"
+            .parse::<FaultPlan>()
+            .is_err());
+        // corrupt's graph id is 0-based and may legitimately be 0
+        assert!("corrupt@3:0".parse::<FaultPlan>().is_ok());
+    }
+
+    #[test]
+    fn network_faults_parse_and_round_trip() {
+        let s = "drop-conn@3;delay-conn@7:40;stall-shard@9";
+        let plan: FaultPlan = s.parse().unwrap();
+        assert_eq!(
+            plan.faults,
+            vec![
+                Fault::DropConn { nth: 3 },
+                Fault::DelayConn { nth: 7, millis: 40 },
+                Fault::StallShard { nth: 9 },
+            ]
+        );
+        assert_eq!(plan.to_string(), s);
+        assert_eq!(plan.to_string().parse::<FaultPlan>().unwrap(), plan);
+        // malformed network faults
+        assert!("drop-conn".parse::<FaultPlan>().is_err());
+        assert!("delay-conn@3".parse::<FaultPlan>().is_err());
+        assert!("stall-shard@x".parse::<FaultPlan>().is_err());
+    }
+
+    #[test]
+    fn duplicate_entries_are_rejected() {
+        assert!("panic-query@1;panic-query@1".parse::<FaultPlan>().is_err());
+        assert!("drop-conn@2;delay-conn@3:10;drop-conn@2"
+            .parse::<FaultPlan>()
+            .is_err());
+        // same kind at different ordinals is fine
+        assert!("panic-query@1;panic-query@2".parse::<FaultPlan>().is_ok());
+        // same ordinal across different kinds is fine
+        assert!("drop-conn@2;delay-conn@2:10".parse::<FaultPlan>().is_ok());
+    }
+
+    #[test]
+    fn full_plan_round_trips_through_display() {
+        let s = "panic-update@5;panic-query@12;delay-query@3:50;corrupt@8:2;\
+                 drop-conn@1;delay-conn@4:25;stall-shard@6";
+        let plan: FaultPlan = s.parse().unwrap();
+        assert_eq!(plan.faults.len(), 7);
+        let shown = plan.to_string();
+        assert_eq!(shown.parse::<FaultPlan>().unwrap(), plan);
+    }
+
+    #[test]
+    fn request_directives_fire_on_exact_ordinals() {
+        let plan: FaultPlan = "drop-conn@2;delay-conn@3:15;stall-shard@3".parse().unwrap();
+        let inj = FaultInjector::new(plan);
+        assert_eq!(inj.before_request(), RequestDirective::default());
+        assert!(inj.before_request().drop_conn);
+        let d = inj.before_request();
+        assert_eq!(d.delay, Some(Duration::from_millis(15)));
+        assert!(d.stall_shard);
+        assert!(!d.drop_conn);
+        assert_eq!(inj.before_request(), RequestDirective::default());
+        assert_eq!(inj.requests_seen(), 4);
+        // the request counter is independent of the query/update counters
+        assert_eq!(inj.queries_seen(), 0);
+        assert_eq!(inj.updates_seen(), 0);
+    }
+
+    #[test]
     fn injector_fires_on_exact_ordinals() {
         let plan: FaultPlan = "panic-update@2".parse().unwrap();
         let inj = FaultInjector::new(plan);
@@ -443,11 +675,36 @@ mod tests {
         h.add_degraded_query();
         h.add_audit_repairs(1);
         h.add_audit_evictions(4);
+        h.add_load_shed();
+        h.add_load_shed();
+        h.add_shard_failover();
+        h.add_baseline_served(5);
         let s = h.snapshot();
         assert_eq!(s.panics_recovered, 2);
         assert_eq!(s.quarantined_entries, 3);
         assert_eq!(s.degraded_queries, 1);
         assert_eq!(s.audit_repairs, 1);
         assert_eq!(s.audit_evictions, 4);
+        assert_eq!(s.load_shed, 2);
+        assert_eq!(s.shard_failovers, 1);
+        assert_eq!(s.baseline_served, 5);
+    }
+
+    #[test]
+    fn snapshots_merge_fieldwise() {
+        let a = RuntimeHealth::default();
+        a.add_panics_recovered(1);
+        a.add_load_shed();
+        let b = RuntimeHealth::default();
+        b.add_panics_recovered(2);
+        b.add_shard_failover();
+        b.add_baseline_served(3);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.panics_recovered, 3);
+        assert_eq!(s.load_shed, 1);
+        assert_eq!(s.shard_failovers, 1);
+        assert_eq!(s.baseline_served, 3);
+        assert_eq!(s.degraded_queries, 0);
     }
 }

@@ -58,7 +58,9 @@ pub mod window;
 
 pub use concurrent::ConcurrentGraphCache;
 pub use config::{CacheModel, GcConfig, Policy};
-pub use fault::{Fault, FaultInjector, FaultPlan, HealthSnapshot, QueryBudget, RuntimeHealth};
+pub use fault::{
+    Fault, FaultInjector, FaultPlan, HealthSnapshot, QueryBudget, RequestDirective, RuntimeHealth,
+};
 pub use metrics::{AggregateMetrics, HitBreakdown, QueryMetrics};
-pub use sharded::ShardedGraphCache;
+pub use sharded::{RoutedOutcome, ShardedGraphCache, PANIC_FAILOVER_THRESHOLD};
 pub use system::{baseline_execute, AuditReport, GraphCachePlus, QueryOutcome};

@@ -20,18 +20,61 @@
 //! asserted by `tests` below and the cross-crate suite.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 use gc_dataset::{ChangeOp, DatasetError};
 use gc_graph::{BitSet, LabeledGraph};
-use gc_subiso::{Interrupt, QueryKind};
+use gc_subiso::{Interrupt, MethodM, QueryKind};
 
 use crate::config::GcConfig;
-use crate::fault::HealthSnapshot;
+use crate::fault::{HealthSnapshot, QueryBudget, RuntimeHealth};
 use crate::metrics::QueryMetrics;
 use crate::system::{GraphCachePlus, QueryOutcome};
 
 /// Global graph identifier in a sharded deployment.
 pub type GlobalId = usize;
+
+/// A shard whose worker panics this many times is failed over: marked
+/// unhealthy and served by cache-less baseline until the auditor clears
+/// its quarantine.
+pub const PANIC_FAILOVER_THRESHOLD: u32 = 2;
+
+/// How long a stalled shard's slot blocks when the query carries no
+/// deadline — a stall must never hang an unlimited-budget request forever.
+const STALL_FALLBACK: Duration = Duration::from_millis(100);
+
+/// Router-level view of one shard's availability.
+#[derive(Debug, Clone, Copy)]
+struct ShardState {
+    /// Panics this shard's worker has recovered from since it last
+    /// rejoined; reaching [`PANIC_FAILOVER_THRESHOLD`] fails it over.
+    panics: u32,
+    /// Healthy shards serve through their GC+ cache; unhealthy shards are
+    /// served by cache-less baseline (answers stay exact, just slower).
+    healthy: bool,
+    /// A stalled shard burns the query's remaining deadline and degrades
+    /// (chaos-injected; mirrors a network partition to that shard).
+    stalled: bool,
+}
+
+impl Default for ShardState {
+    fn default() -> Self {
+        ShardState {
+            panics: 0,
+            healthy: true,
+            stalled: false,
+        }
+    }
+}
+
+/// A [`QueryOutcome`] plus how the router produced it.
+#[derive(Debug)]
+pub struct RoutedOutcome {
+    pub outcome: QueryOutcome,
+    /// Shards whose slice of the answer came from cache-less baseline
+    /// because the shard is failed over.
+    pub baseline_shards: u32,
+}
 
 /// A round-robin sharded GC+ deployment.
 pub struct ShardedGraphCache {
@@ -42,13 +85,20 @@ pub struct ShardedGraphCache {
     reverse: Vec<Vec<GlobalId>>,
     next_shard: usize,
     parallel_fanout: bool,
+    config: GcConfig,
+    states: Vec<ShardState>,
+    /// Routing-layer counters (load shed, failovers, baseline serves) —
+    /// shard-internal counters live on each shard's own health.
+    router_health: RuntimeHealth,
 }
 
 impl ShardedGraphCache {
     /// Partitions `initial` round-robin over `shard_count` shards, each
-    /// running GC+ with the given configuration.
+    /// running GC+ with the given configuration. A zero shard count is a
+    /// caller bug (asserted in debug builds) and clamps to one shard.
     pub fn new(config: GcConfig, initial: Vec<LabeledGraph>, shard_count: usize) -> Self {
-        assert!(shard_count >= 1, "need at least one shard");
+        debug_assert!(shard_count >= 1, "need at least one shard");
+        let shard_count = shard_count.max(1);
         let mut partitions: Vec<Vec<LabeledGraph>> = vec![Vec::new(); shard_count];
         let mut routing = Vec::with_capacity(initial.len());
         let mut reverse: Vec<Vec<GlobalId>> = vec![Vec::new(); shard_count];
@@ -68,6 +118,9 @@ impl ShardedGraphCache {
             reverse,
             next_shard: 0,
             parallel_fanout: false,
+            config,
+            states: vec![ShardState::default(); shard_count],
+            router_health: RuntimeHealth::default(),
         }
     }
 
@@ -144,42 +197,109 @@ impl ShardedGraphCache {
     /// it contributes an explicitly degraded empty partial — tagged in the
     /// unioned metrics — instead of taking the whole deployment down.
     pub fn execute(&mut self, query: &LabeledGraph, kind: QueryKind) -> QueryOutcome {
+        self.execute_deadline(query, kind, self.config.budget)
+            .outcome
+    }
+
+    /// [`execute`](Self::execute) under an explicit per-request budget,
+    /// with failover-aware routing. The deadline is shared across the
+    /// fan-out: each shard gets the *remaining* budget at the moment its
+    /// slot starts, so a slow or stalled shard cannot starve the others of
+    /// their share.
+    ///
+    /// Per-shard routing:
+    /// * healthy → the full GC+ pipeline behind its panic boundary;
+    /// * failed over (unhealthy) → cache-less budgeted baseline over the
+    ///   shard's store — exact answers, no cache exposure, counted in
+    ///   [`RoutedOutcome::baseline_shards`];
+    /// * stalled (chaos) → the slot sleeps out the remaining deadline and
+    ///   contributes a degraded empty partial.
+    ///
+    /// Shards whose recoveries accumulate [`PANIC_FAILOVER_THRESHOLD`]
+    /// panics are failed over here; [`audit`](Self::audit) rejoins them.
+    pub fn execute_deadline(
+        &mut self,
+        query: &LabeledGraph,
+        kind: QueryKind,
+        budget: QueryBudget,
+    ) -> RoutedOutcome {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Plan {
+            Run,
+            Baseline,
+            Stalled,
+        }
+        let overall = budget.deadline.map(|d| Instant::now() + d);
+        let remaining = move || QueryBudget {
+            deadline: overall.map(|t| t.saturating_duration_since(Instant::now())),
+            max_tests: budget.max_tests,
+        };
         // a shard slot that fails beyond recovery yields a degraded empty
         // outcome: sound (contributes no answers) and explicitly tagged
-        let degraded_slot = || QueryOutcome {
+        let degraded_slot = |why| QueryOutcome {
             answer: BitSet::new(),
             metrics: QueryMetrics {
-                degraded: Some(Interrupt::Panic),
+                degraded: Some(why),
                 ..QueryMetrics::default()
             },
+        };
+        let plans: Vec<Plan> = self
+            .states
+            .iter()
+            .map(|st| {
+                if st.stalled {
+                    Plan::Stalled
+                } else if st.healthy {
+                    Plan::Run
+                } else {
+                    Plan::Baseline
+                }
+            })
+            .collect();
+        let method = self.config.method;
+        let run_slot = move |s: &mut GraphCachePlus, plan: Plan| -> QueryOutcome {
+            match plan {
+                Plan::Run => catch_unwind(AssertUnwindSafe(|| {
+                    s.execute_isolated_budgeted(query, kind, remaining())
+                }))
+                .unwrap_or_else(|_| degraded_slot(Interrupt::Panic)),
+                Plan::Baseline => catch_unwind(AssertUnwindSafe(|| {
+                    baseline_budgeted(s, &method, query, kind, remaining())
+                }))
+                .unwrap_or_else(|_| degraded_slot(Interrupt::Panic)),
+                Plan::Stalled => {
+                    std::thread::sleep(remaining().deadline.unwrap_or(STALL_FALLBACK));
+                    degraded_slot(Interrupt::Deadline)
+                }
+            }
         };
         let outcomes: Vec<QueryOutcome> = if self.parallel_fanout && self.shards.len() > 1 {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .shards
                     .iter_mut()
-                    .map(|s| scope.spawn(move || s.execute_isolated(query, kind)))
+                    .zip(plans.iter().copied())
+                    .map(|(s, plan)| scope.spawn(move || run_slot(s, plan)))
                     .collect();
                 handles
                     .into_iter()
-                    // execute_isolated contains all panics, so a join
+                    // the slot runner contains all panics, so a join
                     // failure should be unreachable; degrade rather than
                     // cascade if it ever happens
-                    .map(|h| h.join().unwrap_or_else(|_| degraded_slot()))
+                    .map(|h| h.join().unwrap_or_else(|_| degraded_slot(Interrupt::Panic)))
                     .collect()
             })
         } else {
             self.shards
                 .iter_mut()
-                .map(|s| {
-                    catch_unwind(AssertUnwindSafe(|| s.execute_isolated(query, kind)))
-                        .unwrap_or_else(|_| degraded_slot())
-                })
+                .zip(plans.iter().copied())
+                .map(|(s, plan)| run_slot(s, plan))
                 .collect()
         };
 
         let mut answer = BitSet::new();
         let mut metrics = QueryMetrics::default();
+        let mut baseline_shards = 0u32;
         for (shard, out) in outcomes.iter().enumerate() {
             for local in out.answer.iter_ones() {
                 answer.set(self.reverse[shard][local], true);
@@ -196,20 +316,64 @@ impl ShardedGraphCache {
                 // union may be missing that shard's share of the answer
                 metrics.degraded = out.metrics.degraded;
             }
+            if plans[shard] == Plan::Baseline {
+                baseline_shards += 1;
+                self.router_health.add_baseline_served(1);
+            }
+            let st = &mut self.states[shard];
+            st.panics = st
+                .panics
+                .saturating_add(out.metrics.panics_recovered.min(u32::MAX as u64) as u32);
+            if st.healthy && st.panics >= PANIC_FAILOVER_THRESHOLD {
+                st.healthy = false;
+                self.router_health.add_shard_failover();
+            }
         }
-        QueryOutcome { answer, metrics }
+        RoutedOutcome {
+            outcome: QueryOutcome { answer, metrics },
+            baseline_shards,
+        }
     }
 
-    /// Sums the fault-tolerance counters across all shards.
+    /// The shard owning a live global id, if any.
+    pub fn owner_shard(&self, global: GlobalId) -> Option<usize> {
+        self.locate(global).ok().map(|(shard, _)| shard)
+    }
+
+    /// Whether the router currently considers the shard healthy.
+    pub fn shard_healthy(&self, shard: usize) -> bool {
+        self.states[shard].healthy
+    }
+
+    /// Shards currently failed over to baseline serving.
+    pub fn unhealthy_shards(&self) -> Vec<usize> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| !st.healthy)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Marks a shard stalled (chaos injection): its next query slots burn
+    /// the remaining deadline and degrade instead of answering.
+    pub fn set_shard_stalled(&mut self, shard: usize, stalled: bool) {
+        self.states[shard].stalled = stalled;
+    }
+
+    /// Routing-layer health counters (load shed / failovers / baseline
+    /// serves) — shard-internal counters are folded by
+    /// [`health_snapshot`](Self::health_snapshot).
+    pub fn router_health(&self) -> &RuntimeHealth {
+        &self.router_health
+    }
+
+    /// Sums the fault-tolerance counters across all shards, plus the
+    /// routing layer's own counters.
     pub fn health_snapshot(&self) -> HealthSnapshot {
-        let mut total = HealthSnapshot::default();
+        let mut total = self.router_health.snapshot();
         for s in &self.shards {
-            let h = s.health_snapshot();
-            total.panics_recovered += h.panics_recovered;
-            total.quarantined_entries += h.quarantined_entries;
-            total.degraded_queries += h.degraded_queries;
-            total.audit_repairs += h.audit_repairs;
-            total.audit_evictions += h.audit_evictions;
+            total.merge(&s.health_snapshot());
         }
         total
     }
@@ -231,6 +395,14 @@ impl ShardedGraphCache {
             total.repaired += r.repaired;
             total.evicted += r.evicted;
         }
+        // a failed-over shard rejoins once the audit leaves it with no
+        // quarantined knowledge: everything it serves from here is clean
+        for (st, s) in self.states.iter_mut().zip(&self.shards) {
+            if !st.healthy && s.quarantined_entries() == 0 {
+                st.healthy = true;
+                st.panics = 0;
+            }
+        }
         total
     }
 
@@ -245,6 +417,36 @@ impl ShardedGraphCache {
                 s.set_fault_injector(inj);
             }
         }
+    }
+}
+
+/// Cache-less budgeted execution against one shard's store — the serving
+/// path for failed-over shards. Answers are exact unless the budget runs
+/// out first (then sound-partial, tagged like any degraded outcome).
+fn baseline_budgeted(
+    shard: &GraphCachePlus,
+    method: &MethodM,
+    query: &LabeledGraph,
+    kind: QueryKind,
+    budget: QueryBudget,
+) -> QueryOutcome {
+    let started = Instant::now();
+    let token = budget.token();
+    let store = shard.store();
+    let csm = store.live_bitset();
+    let candidate_size = csm.count_ones() as u64;
+    let m = method.run_budgeted(query, kind, store, &csm, &token);
+    QueryOutcome {
+        answer: m.answer,
+        metrics: QueryMetrics {
+            query_time: started.elapsed(),
+            subiso_tests: m.tests,
+            prefilter_skips: m.prefilter_skips,
+            candidate_size,
+            degraded: m.interrupted,
+            panics_recovered: m.panics_recovered,
+            ..QueryMetrics::default()
+        },
     }
 }
 
@@ -341,9 +543,19 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "at least one shard")]
-    fn zero_shards_rejected() {
+    fn zero_shards_asserts_in_debug() {
         let _ = ShardedGraphCache::new(GcConfig::default(), Vec::new(), 0);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn zero_shards_clamps_in_release() {
+        let data = dataset(4, 11);
+        let sharded = ShardedGraphCache::new(GcConfig::default(), data, 0);
+        assert_eq!(sharded.shard_count(), 1);
+        assert_eq!(sharded.live_count(), 4);
     }
 
     #[test]
@@ -372,6 +584,102 @@ mod tests {
             // auditing clears whatever the recovery quarantined
             sharded.audit(1.0, 5);
             assert_eq!(sharded.quarantined_entries(), 0);
+            // one contained panic stays below the failover threshold
+            assert!(sharded.shard_healthy(1));
         }
+    }
+
+    #[test]
+    fn twice_panicking_shard_fails_over_to_baseline_until_audit() {
+        use crate::fault::FaultInjector;
+        use std::sync::Arc;
+        let data = dataset(15, 13);
+        let q = query(&data, 14);
+        let mut oracle = GraphCachePlus::new(GcConfig::default(), data.clone());
+        let expected = oracle.execute(&q, QueryKind::Subgraph).answer;
+
+        let mut sharded = ShardedGraphCache::new(GcConfig::default(), data.clone(), 3);
+        // shard 1's first query panics, and so does the isolation retry
+        sharded.set_fault_injectors(|i| {
+            (i == 1).then(|| {
+                Arc::new(FaultInjector::new(
+                    "panic-query@1;panic-query@2".parse().unwrap(),
+                ))
+            })
+        });
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let first = sharded.execute_deadline(&q, QueryKind::Subgraph, QueryBudget::UNLIMITED);
+        std::panic::set_hook(prev);
+        // the double panic resolved through the shard's own baseline
+        // fallback, so the answer is still exact — and the shard is now
+        // failed over at the routing layer
+        assert_eq!(first.outcome.answer, expected);
+        assert_eq!(
+            first.baseline_shards, 0,
+            "failover starts on the *next* query"
+        );
+        assert!(!sharded.shard_healthy(1));
+        assert_eq!(sharded.unhealthy_shards(), vec![1]);
+        assert_eq!(sharded.health_snapshot().shard_failovers, 1);
+
+        // while failed over, shard 1's slice is served by router baseline:
+        // exact answers, no cache exposure
+        let second = sharded.execute_deadline(&q, QueryKind::Subgraph, QueryBudget::UNLIMITED);
+        assert_eq!(second.outcome.answer, expected);
+        assert!(second.outcome.metrics.degraded.is_none());
+        assert_eq!(second.baseline_shards, 1);
+        assert!(sharded.health_snapshot().baseline_served >= 1);
+
+        // a full audit clears the quarantine and rejoins the shard
+        sharded.audit(1.0, 7);
+        assert_eq!(sharded.quarantined_entries(), 0);
+        assert!(sharded.shard_healthy(1));
+        let third = sharded.execute_deadline(&q, QueryKind::Subgraph, QueryBudget::UNLIMITED);
+        assert_eq!(third.outcome.answer, expected);
+        assert_eq!(third.baseline_shards, 0);
+    }
+
+    #[test]
+    fn stalled_shard_burns_deadline_and_degrades() {
+        let data = dataset(12, 17);
+        let q = query(&data, 18);
+        let mut oracle = GraphCachePlus::new(GcConfig::default(), data.clone());
+        let expected = oracle.execute(&q, QueryKind::Subgraph).answer;
+
+        let mut sharded = ShardedGraphCache::new(GcConfig::default(), data.clone(), 2);
+        sharded.set_shard_stalled(1, true);
+        let budget = QueryBudget {
+            deadline: Some(Duration::from_millis(30)),
+            max_tests: None,
+        };
+        let t = Instant::now();
+        let routed = sharded.execute_deadline(&q, QueryKind::Subgraph, budget);
+        let elapsed = t.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(30),
+            "stall burns the deadline"
+        );
+        assert!(
+            elapsed < Duration::from_millis(30) * 4,
+            "a stall must not hang past the deadline's order of magnitude: {elapsed:?}"
+        );
+        assert_eq!(
+            routed.outcome.metrics.degraded,
+            Some(Interrupt::Deadline),
+            "the stalled slot is explicitly degraded"
+        );
+        // the answer is sound: a subset of the true answer (missing at
+        // most the stalled shard's share)
+        for g in routed.outcome.answer.iter_ones() {
+            assert!(expected.get(g), "unsound positive {g}");
+        }
+        assert!(sharded.shard_healthy(1), "stall is not a panic failover");
+
+        // clearing the stall restores exact answers
+        sharded.set_shard_stalled(1, false);
+        let clean = sharded.execute_deadline(&q, QueryKind::Subgraph, QueryBudget::UNLIMITED);
+        assert_eq!(clean.outcome.answer, expected);
+        assert!(clean.outcome.metrics.degraded.is_none());
     }
 }

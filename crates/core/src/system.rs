@@ -446,12 +446,28 @@ impl GraphCachePlus {
     /// an explicitly degraded empty outcome is returned. This method never
     /// panics and never returns a silently wrong answer.
     pub fn execute_isolated(&mut self, query: &LabeledGraph, kind: QueryKind) -> QueryOutcome {
-        match catch_unwind(AssertUnwindSafe(|| self.execute(query, kind))) {
+        self.execute_isolated_budgeted(query, kind, self.config.budget)
+    }
+
+    /// [`execute_isolated`](Self::execute_isolated) under an explicit
+    /// per-query budget — the networked service materializes each
+    /// request's remaining deadline through this entry point.
+    pub fn execute_isolated_budgeted(
+        &mut self,
+        query: &LabeledGraph,
+        kind: QueryKind,
+        budget: QueryBudget,
+    ) -> QueryOutcome {
+        match catch_unwind(AssertUnwindSafe(|| {
+            self.execute_budgeted(query, kind, budget)
+        })) {
             Ok(out) => out,
             Err(_) => {
                 self.health.add_panics_recovered(1);
                 self.quarantine_related(query, kind);
-                match catch_unwind(AssertUnwindSafe(|| self.execute(query, kind))) {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    self.execute_budgeted(query, kind, budget)
+                })) {
                     Ok(mut out) => {
                         // the retry's answer is exact (or already tagged by
                         // its own budget); only the panic count needs fixing

@@ -1,0 +1,643 @@
+//! The GC+ wire protocol: length-prefixed binary frames over any
+//! `Read`/`Write` byte stream (deployed over TCP, tested over loopback).
+//!
+//! Frame layout (all integers big-endian):
+//!
+//! ```text
+//! +----------------+---------+-----------------------+
+//! | len: u32       | tag: u8 | payload: len - 1 bytes|
+//! +----------------+---------+-----------------------+
+//! ```
+//!
+//! `len` counts everything after the length word (tag + payload) and is
+//! capped at [`MAX_FRAME`] — a peer announcing more is a protocol error,
+//! not an allocation request. Graphs travel as
+//! `nv: u32, nv × label: u16, ne: u32, ne × (u: u32, v: u32)`.
+//!
+//! The request carries its *deadline* (`deadline_ms`, 0 = none) rather
+//! than a timestamp: clocks on the two ends need not agree, and the
+//! server re-anchors the budget at receipt, so queue wait inside the
+//! server burns the deadline while network transit does not.
+
+use std::io::{self, Read, Write};
+
+use gc_core::HealthSnapshot;
+use gc_graph::LabeledGraph;
+use gc_subiso::{Interrupt, QueryKind};
+
+/// Upper bound on a frame body (tag + payload). Large enough for any
+/// realistic query graph or answer set, small enough that a corrupt
+/// length word cannot drive allocation.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Everything that can go wrong on the wire.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying transport failed (includes clean EOF mid-frame).
+    Io(io::Error),
+    /// The peer sent bytes that do not decode as a valid message.
+    Malformed(String),
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "transport: {e}"),
+            WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Execute a pattern query under a deadline (`deadline_ms` of 0 means
+    /// the server's default budget applies unchanged).
+    Query {
+        kind: QueryKind,
+        deadline_ms: u32,
+        graph: LabeledGraph,
+    },
+    /// Edge addition (UA) on a live dataset graph.
+    Ua { id: u64, u: u32, v: u32 },
+    /// Edge removal (UR) on a live dataset graph.
+    Ur { id: u64, u: u32, v: u32 },
+    /// Fetch the folded health counters.
+    Health,
+    /// Run the consistency auditor (`sample_permille` of 1000 = audit
+    /// every resident entry).
+    Audit { sample_permille: u16, seed: u64 },
+}
+
+impl Request {
+    /// Whether replaying this request can change server state. Only
+    /// idempotent requests may be retried on a *transport* error, where
+    /// the client cannot know if the server acted before the line died.
+    pub fn idempotent(&self) -> bool {
+        match self {
+            Request::Query { .. } | Request::Health | Request::Audit { .. } => true,
+            Request::Ua { .. } | Request::Ur { .. } => false,
+        }
+    }
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Query answer: global graph ids, plus how the answer was produced.
+    /// `degraded = Some(..)` marks a *sound partial* answer (budget ran
+    /// out, worker panicked); it is a success, never retried.
+    Answer {
+        ids: Vec<u64>,
+        degraded: Option<Interrupt>,
+        baseline_shards: u32,
+    },
+    /// Update applied to the given global id.
+    Updated { id: u64 },
+    /// Folded health counters.
+    Health(HealthSnapshot),
+    /// Auditor outcome.
+    Audited {
+        sampled: u64,
+        clean: u64,
+        repaired: u64,
+        evicted: u64,
+    },
+    /// Shed at admission: the per-shard in-flight cap is exhausted. The
+    /// request was *not* executed; any request kind may be retried.
+    Overloaded,
+    /// Failed before execution in a way worth retrying (any request
+    /// kind): the server vouches no state changed.
+    Retryable(String),
+    /// Terminal failure; do not retry.
+    Error(String),
+}
+
+// ---------------------------------------------------------------- tags --
+
+const REQ_QUERY: u8 = 0x01;
+const REQ_UA: u8 = 0x02;
+const REQ_UR: u8 = 0x03;
+const REQ_HEALTH: u8 = 0x04;
+const REQ_AUDIT: u8 = 0x05;
+
+const RSP_ANSWER: u8 = 0x81;
+const RSP_UPDATED: u8 = 0x82;
+const RSP_HEALTH: u8 = 0x83;
+const RSP_AUDITED: u8 = 0x84;
+const RSP_OVERLOADED: u8 = 0x85;
+const RSP_RETRYABLE: u8 = 0x86;
+const RSP_ERROR: u8 = 0x87;
+
+fn kind_code(kind: QueryKind) -> u8 {
+    match kind {
+        QueryKind::Subgraph => 0,
+        QueryKind::Supergraph => 1,
+    }
+}
+
+fn interrupt_code(i: Option<Interrupt>) -> u8 {
+    match i {
+        None => 0,
+        Some(Interrupt::Cancelled) => 1,
+        Some(Interrupt::Deadline) => 2,
+        Some(Interrupt::TestCap) => 3,
+        Some(Interrupt::Panic) => 4,
+    }
+}
+
+fn decode_interrupt(code: u8) -> Result<Option<Interrupt>, WireError> {
+    Ok(match code {
+        0 => None,
+        1 => Some(Interrupt::Cancelled),
+        2 => Some(Interrupt::Deadline),
+        3 => Some(Interrupt::TestCap),
+        4 => Some(Interrupt::Panic),
+        c => return Err(WireError::Malformed(format!("interrupt code {c}"))),
+    })
+}
+
+// ------------------------------------------------------------- encoding --
+
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.0.extend_from_slice(v);
+    }
+    fn graph(&mut self, g: &LabeledGraph) {
+        self.u32(g.vertex_count() as u32);
+        for &l in g.labels() {
+            self.u16(l);
+        }
+        self.u32(g.edge_count() as u32);
+        for (u, v) in g.edges() {
+            self.u32(u);
+            self.u32(v);
+        }
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, at: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| WireError::Malformed("truncated frame".into()))?;
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn string(&mut self) -> Result<String, WireError> {
+        let n = self.u32()? as usize;
+        let raw = self.take(n)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError::Malformed("non-utf8 string".into()))
+    }
+    fn graph(&mut self) -> Result<LabeledGraph, WireError> {
+        let nv = self.u32()? as usize;
+        // label payload is 2 bytes/vertex: bound nv by the bytes actually
+        // present so a corrupt count cannot drive allocation
+        if nv.saturating_mul(2) > self.buf.len() - self.at {
+            return Err(WireError::Malformed("vertex count exceeds frame".into()));
+        }
+        let mut labels = Vec::with_capacity(nv);
+        for _ in 0..nv {
+            labels.push(self.u16()?);
+        }
+        let ne = self.u32()? as usize;
+        if ne.saturating_mul(8) > self.buf.len() - self.at {
+            return Err(WireError::Malformed("edge count exceeds frame".into()));
+        }
+        let mut edges = Vec::with_capacity(ne);
+        for _ in 0..ne {
+            let u = self.u32()?;
+            let v = self.u32()?;
+            edges.push((u, v));
+        }
+        LabeledGraph::from_parts(labels, &edges)
+            .map_err(|e| WireError::Malformed(format!("graph: {e}")))
+    }
+    fn done(&self) -> Result<(), WireError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed(format!(
+                "{} trailing bytes",
+                self.buf.len() - self.at
+            )))
+        }
+    }
+}
+
+impl Request {
+    /// Serializes into a frame body (tag + payload, no length word).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc(Vec::new());
+        match self {
+            Request::Query {
+                kind,
+                deadline_ms,
+                graph,
+            } => {
+                e.u8(REQ_QUERY);
+                e.u8(kind_code(*kind));
+                e.u32(*deadline_ms);
+                e.graph(graph);
+            }
+            Request::Ua { id, u, v } => {
+                e.u8(REQ_UA);
+                e.u64(*id);
+                e.u32(*u);
+                e.u32(*v);
+            }
+            Request::Ur { id, u, v } => {
+                e.u8(REQ_UR);
+                e.u64(*id);
+                e.u32(*u);
+                e.u32(*v);
+            }
+            Request::Health => e.u8(REQ_HEALTH),
+            Request::Audit {
+                sample_permille,
+                seed,
+            } => {
+                e.u8(REQ_AUDIT);
+                e.u16(*sample_permille);
+                e.u64(*seed);
+            }
+        }
+        e.0
+    }
+
+    /// Parses a frame body produced by [`Request::encode`].
+    pub fn decode(body: &[u8]) -> Result<Self, WireError> {
+        let mut d = Dec::new(body);
+        let req = match d.u8()? {
+            REQ_QUERY => {
+                let kind = match d.u8()? {
+                    0 => QueryKind::Subgraph,
+                    1 => QueryKind::Supergraph,
+                    c => return Err(WireError::Malformed(format!("query kind {c}"))),
+                };
+                let deadline_ms = d.u32()?;
+                let graph = d.graph()?;
+                Request::Query {
+                    kind,
+                    deadline_ms,
+                    graph,
+                }
+            }
+            REQ_UA => Request::Ua {
+                id: d.u64()?,
+                u: d.u32()?,
+                v: d.u32()?,
+            },
+            REQ_UR => Request::Ur {
+                id: d.u64()?,
+                u: d.u32()?,
+                v: d.u32()?,
+            },
+            REQ_HEALTH => Request::Health,
+            REQ_AUDIT => Request::Audit {
+                sample_permille: d.u16()?,
+                seed: d.u64()?,
+            },
+            t => return Err(WireError::Malformed(format!("request tag {t:#x}"))),
+        };
+        d.done()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serializes into a frame body (tag + payload, no length word).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc(Vec::new());
+        match self {
+            Response::Answer {
+                ids,
+                degraded,
+                baseline_shards,
+            } => {
+                e.u8(RSP_ANSWER);
+                e.u8(interrupt_code(*degraded));
+                e.u32(*baseline_shards);
+                e.u32(ids.len() as u32);
+                for &id in ids {
+                    e.u64(id);
+                }
+            }
+            Response::Updated { id } => {
+                e.u8(RSP_UPDATED);
+                e.u64(*id);
+            }
+            Response::Health(h) => {
+                e.u8(RSP_HEALTH);
+                for v in [
+                    h.panics_recovered,
+                    h.quarantined_entries,
+                    h.degraded_queries,
+                    h.audit_repairs,
+                    h.audit_evictions,
+                    h.load_shed,
+                    h.shard_failovers,
+                    h.baseline_served,
+                ] {
+                    e.u64(v);
+                }
+            }
+            Response::Audited {
+                sampled,
+                clean,
+                repaired,
+                evicted,
+            } => {
+                e.u8(RSP_AUDITED);
+                e.u64(*sampled);
+                e.u64(*clean);
+                e.u64(*repaired);
+                e.u64(*evicted);
+            }
+            Response::Overloaded => e.u8(RSP_OVERLOADED),
+            Response::Retryable(m) => {
+                e.u8(RSP_RETRYABLE);
+                e.bytes(m.as_bytes());
+            }
+            Response::Error(m) => {
+                e.u8(RSP_ERROR);
+                e.bytes(m.as_bytes());
+            }
+        }
+        e.0
+    }
+
+    /// Parses a frame body produced by [`Response::encode`].
+    pub fn decode(body: &[u8]) -> Result<Self, WireError> {
+        let mut d = Dec::new(body);
+        let rsp = match d.u8()? {
+            RSP_ANSWER => {
+                let degraded = decode_interrupt(d.u8()?)?;
+                let baseline_shards = d.u32()?;
+                let n = d.u32()? as usize;
+                if n.saturating_mul(8) > body.len() {
+                    return Err(WireError::Malformed("id count exceeds frame".into()));
+                }
+                let mut ids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ids.push(d.u64()?);
+                }
+                Response::Answer {
+                    ids,
+                    degraded,
+                    baseline_shards,
+                }
+            }
+            RSP_UPDATED => Response::Updated { id: d.u64()? },
+            RSP_HEALTH => {
+                let mut v = [0u64; 8];
+                for slot in &mut v {
+                    *slot = d.u64()?;
+                }
+                Response::Health(HealthSnapshot {
+                    panics_recovered: v[0],
+                    quarantined_entries: v[1],
+                    degraded_queries: v[2],
+                    audit_repairs: v[3],
+                    audit_evictions: v[4],
+                    load_shed: v[5],
+                    shard_failovers: v[6],
+                    baseline_served: v[7],
+                })
+            }
+            RSP_AUDITED => Response::Audited {
+                sampled: d.u64()?,
+                clean: d.u64()?,
+                repaired: d.u64()?,
+                evicted: d.u64()?,
+            },
+            RSP_OVERLOADED => Response::Overloaded,
+            RSP_RETRYABLE => Response::Retryable(d.string()?),
+            RSP_ERROR => Response::Error(d.string()?),
+            t => return Err(WireError::Malformed(format!("response tag {t:#x}"))),
+        };
+        d.done()?;
+        Ok(rsp)
+    }
+}
+
+// --------------------------------------------------------------- frames --
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> Result<(), WireError> {
+    let len = u32::try_from(body.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME)
+        .ok_or_else(|| WireError::Malformed(format!("frame body {} too large", body.len())))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame. A clean EOF *before* the length word
+/// maps to `Io(UnexpectedEof)` like any mid-frame cut — callers treat
+/// both as the peer going away.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_be_bytes(len);
+    if len == 0 || len > MAX_FRAME {
+        return Err(WireError::Malformed(format!("frame length {len}")));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> LabeledGraph {
+        LabeledGraph::from_parts(vec![3, 1, 4, 1], &[(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap()
+    }
+
+    fn roundtrip_req(req: Request) {
+        let body = req.encode();
+        assert_eq!(Request::decode(&body).unwrap(), req);
+    }
+
+    fn roundtrip_rsp(rsp: Response) {
+        let body = rsp.encode();
+        assert_eq!(Response::decode(&body).unwrap(), rsp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        roundtrip_req(Request::Query {
+            kind: QueryKind::Subgraph,
+            deadline_ms: 250,
+            graph: graph(),
+        });
+        roundtrip_req(Request::Query {
+            kind: QueryKind::Supergraph,
+            deadline_ms: 0,
+            graph: graph(),
+        });
+        roundtrip_req(Request::Ua { id: 7, u: 1, v: 3 });
+        roundtrip_req(Request::Ur {
+            id: u64::MAX,
+            u: 0,
+            v: 2,
+        });
+        roundtrip_req(Request::Health);
+        roundtrip_req(Request::Audit {
+            sample_permille: 1000,
+            seed: 42,
+        });
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        roundtrip_rsp(Response::Answer {
+            ids: vec![0, 3, 99, u64::MAX],
+            degraded: None,
+            baseline_shards: 0,
+        });
+        roundtrip_rsp(Response::Answer {
+            ids: vec![],
+            degraded: Some(Interrupt::Deadline),
+            baseline_shards: 2,
+        });
+        roundtrip_rsp(Response::Updated { id: 12 });
+        roundtrip_rsp(Response::Health(HealthSnapshot {
+            panics_recovered: 1,
+            quarantined_entries: 2,
+            degraded_queries: 3,
+            audit_repairs: 4,
+            audit_evictions: 5,
+            load_shed: 6,
+            shard_failovers: 7,
+            baseline_served: 8,
+        }));
+        roundtrip_rsp(Response::Audited {
+            sampled: 10,
+            clean: 9,
+            repaired: 1,
+            evicted: 0,
+        });
+        roundtrip_rsp(Response::Overloaded);
+        roundtrip_rsp(Response::Retryable("update lock poisoned".into()));
+        roundtrip_rsp(Response::Error("no such graph 4".into()));
+    }
+
+    #[test]
+    fn idempotency_classification() {
+        assert!(Request::Health.idempotent());
+        assert!(Request::Audit {
+            sample_permille: 10,
+            seed: 0
+        }
+        .idempotent());
+        assert!(Request::Query {
+            kind: QueryKind::Subgraph,
+            deadline_ms: 0,
+            graph: graph()
+        }
+        .idempotent());
+        assert!(!Request::Ua { id: 0, u: 0, v: 1 }.idempotent());
+        assert!(!Request::Ur { id: 0, u: 0, v: 1 }.idempotent());
+    }
+
+    #[test]
+    fn malformed_bodies_are_rejected() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[0xff]).is_err());
+        assert!(Response::decode(&[0x42]).is_err());
+        // trailing garbage is a protocol error, not ignored
+        let mut body = Request::Health.encode();
+        body.push(0);
+        assert!(Request::decode(&body).is_err());
+        // truncated graph
+        let body = Request::Query {
+            kind: QueryKind::Subgraph,
+            deadline_ms: 0,
+            graph: graph(),
+        }
+        .encode();
+        assert!(Request::decode(&body[..body.len() - 3]).is_err());
+        // a vertex count far beyond the frame must fail fast, not allocate
+        let mut evil = vec![REQ_QUERY, 0, 0, 0, 0, 0];
+        evil.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(Request::decode(&evil).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_bad_lengths() {
+        let body = Request::Health.encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &body).unwrap();
+        assert_eq!(buf.len(), 4 + body.len());
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), body);
+
+        // zero-length and oversized frames are rejected before allocation
+        let zero = 0u32.to_be_bytes();
+        assert!(matches!(
+            read_frame(&mut &zero[..]),
+            Err(WireError::Malformed(_))
+        ));
+        let huge = (MAX_FRAME + 1).to_be_bytes();
+        assert!(matches!(
+            read_frame(&mut &huge[..]),
+            Err(WireError::Malformed(_))
+        ));
+        // cut mid-frame: transport error
+        let mut cut = Vec::new();
+        write_frame(&mut cut, &body).unwrap();
+        cut.truncate(cut.len() - 1);
+        assert!(matches!(read_frame(&mut &cut[..]), Err(WireError::Io(_))));
+    }
+}

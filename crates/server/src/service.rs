@@ -1,0 +1,386 @@
+//! Transport-independent request handling over a [`ShardedGraphCache`]:
+//! admission control (bounded per-shard in-flight), deadline
+//! materialization, and the update/health/audit operations. The TCP layer
+//! in [`crate::server`] is a thin framing shell around [`CacheService`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use gc_core::{HealthSnapshot, QueryBudget, RuntimeHealth, ShardedGraphCache};
+use gc_dataset::ChangeOp;
+
+use crate::protocol::{Request, Response};
+
+/// Bounded per-shard in-flight accounting. Acquired *before* the cache
+/// lock so load is shed deterministically at admission instead of queueing
+/// without bound on the mutex; the permit spans the whole request,
+/// including its lock wait.
+struct InflightGate {
+    slots: Vec<AtomicUsize>,
+    depth: usize,
+}
+
+impl InflightGate {
+    fn new(shards: usize, depth: usize) -> Self {
+        InflightGate {
+            slots: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
+            depth: depth.max(1),
+        }
+    }
+
+    /// Acquires one permit on the given shard slot.
+    fn try_acquire(&self, shard: usize) -> Option<GatePermit<'_>> {
+        self.try_acquire_range(shard, shard + 1)
+    }
+
+    /// Acquires one permit on *every* shard slot (queries fan out to all
+    /// shards), all-or-nothing.
+    fn try_acquire_all(&self) -> Option<GatePermit<'_>> {
+        self.try_acquire_range(0, self.slots.len())
+    }
+
+    fn try_acquire_range(&self, from: usize, to: usize) -> Option<GatePermit<'_>> {
+        for i in from..to {
+            if self.slots[i].fetch_add(1, Ordering::AcqRel) >= self.depth {
+                // roll back this and every slot already taken
+                for j in from..=i {
+                    self.slots[j].fetch_sub(1, Ordering::AcqRel);
+                }
+                return None;
+            }
+        }
+        Some(GatePermit {
+            gate: self,
+            from,
+            to,
+        })
+    }
+}
+
+/// RAII in-flight permit; releasing is infallible and panic-safe.
+struct GatePermit<'a> {
+    gate: &'a InflightGate,
+    from: usize,
+    to: usize,
+}
+
+impl Drop for GatePermit<'_> {
+    fn drop(&mut self) {
+        for i in self.from..self.to {
+            self.gate.slots[i].fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// The request handler: one per server, shared across connection threads.
+pub struct CacheService {
+    cache: Mutex<ShardedGraphCache>,
+    gate: InflightGate,
+    /// Service-level counters (load shed happens before the cache is even
+    /// locked, so it cannot live on the router's health).
+    health: RuntimeHealth,
+    default_budget: QueryBudget,
+    shard_count: usize,
+}
+
+impl CacheService {
+    /// Wraps a pre-built sharded cache. `max_inflight` bounds concurrent
+    /// requests per shard; `default_budget` applies to queries that carry
+    /// no deadline of their own.
+    pub fn new(cache: ShardedGraphCache, max_inflight: usize, default_budget: QueryBudget) -> Self {
+        let shard_count = cache.shard_count();
+        CacheService {
+            cache: Mutex::new(cache),
+            gate: InflightGate::new(shard_count, max_inflight),
+            health: RuntimeHealth::default(),
+            default_budget,
+            shard_count,
+        }
+    }
+
+    /// Number of shards behind this service.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// A worker panic poisons the cache mutex; the cache's own isolation
+    /// layers have already contained the damage (quarantine + audit), so
+    /// the service keeps serving rather than wedging every future request.
+    fn lock_cache(&self) -> MutexGuard<'_, ShardedGraphCache> {
+        self.cache.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Folded health: every shard + the routing layer + this service.
+    pub fn health_snapshot(&self) -> HealthSnapshot {
+        let mut total = self.health.snapshot();
+        total.merge(&self.lock_cache().health_snapshot());
+        total
+    }
+
+    /// Shards currently failed over to baseline serving.
+    pub fn unhealthy_shards(&self) -> Vec<usize> {
+        self.lock_cache().unhealthy_shards()
+    }
+
+    /// Runs `f` under the cache lock — test/driver escape hatch for
+    /// assertions that need router state.
+    pub fn with_cache<R>(&self, f: impl FnOnce(&mut ShardedGraphCache) -> R) -> R {
+        f(&mut self.lock_cache())
+    }
+
+    /// Handles one decoded request. `received` anchors the deadline clock
+    /// (the moment the frame arrived, so server-side queue wait burns the
+    /// deadline); `stall_shard` is chaos routing from the fault plan.
+    pub fn handle(&self, req: Request, received: Instant, stall_shard: Option<usize>) -> Response {
+        match req {
+            Request::Query {
+                kind,
+                deadline_ms,
+                graph,
+            } => {
+                let Some(_permit) = self.gate.try_acquire_all() else {
+                    self.health.add_load_shed();
+                    return Response::Overloaded;
+                };
+                let budget = if deadline_ms > 0 {
+                    QueryBudget {
+                        deadline: Some(Duration::from_millis(u64::from(deadline_ms))),
+                        max_tests: self.default_budget.max_tests,
+                    }
+                } else {
+                    self.default_budget
+                };
+                let mut cache = self.lock_cache();
+                // whatever the lock wait consumed is gone from the budget
+                let remaining = QueryBudget {
+                    deadline: budget
+                        .deadline
+                        .map(|d| (received + d).saturating_duration_since(Instant::now())),
+                    max_tests: budget.max_tests,
+                };
+                if let Some(shard) = stall_shard {
+                    cache.set_shard_stalled(shard, true);
+                }
+                let routed = catch_unwind(AssertUnwindSafe(|| {
+                    cache.execute_deadline(&graph, kind, remaining)
+                }));
+                if let Some(shard) = stall_shard {
+                    cache.set_shard_stalled(shard, false);
+                }
+                match routed {
+                    Ok(routed) => Response::Answer {
+                        ids: routed
+                            .outcome
+                            .answer
+                            .iter_ones()
+                            .map(|g| g as u64)
+                            .collect(),
+                        degraded: routed.outcome.metrics.degraded,
+                        baseline_shards: routed.baseline_shards,
+                    },
+                    // execute_deadline contains worker panics itself; a
+                    // panic escaping it is a router bug, but the query has
+                    // not produced an answer — report rather than wedge
+                    Err(_) => Response::Error("query execution panicked".into()),
+                }
+            }
+            Request::Ua { id, u, v } | Request::Ur { id, u, v } => {
+                let add = matches!(req, Request::Ua { .. });
+                // admission key: updates route to one shard; the precise
+                // owner needs the routing table (behind the lock), so the
+                // gate slots by a uniform hash of the global id instead
+                let slot = (id as usize) % self.shard_count;
+                let Some(_permit) = self.gate.try_acquire(slot) else {
+                    self.health.add_load_shed();
+                    return Response::Overloaded;
+                };
+                let mut cache = self.lock_cache();
+                let op = if add {
+                    ChangeOp::Ua {
+                        id: id as usize,
+                        u,
+                        v,
+                    }
+                } else {
+                    ChangeOp::Ur {
+                        id: id as usize,
+                        u,
+                        v,
+                    }
+                };
+                match catch_unwind(AssertUnwindSafe(|| cache.apply(op))) {
+                    Ok(Ok(global)) => Response::Updated { id: global as u64 },
+                    Ok(Err(e)) => Response::Error(format!("update rejected: {e:?}")),
+                    // injected update panics fire before any mutation, so
+                    // the op did not land: vouch for a safe retry
+                    Err(_) => Response::Retryable("update panicked before mutation".into()),
+                }
+            }
+            Request::Health => Response::Health(self.health_snapshot()),
+            Request::Audit {
+                sample_permille,
+                seed,
+            } => {
+                let rate = f64::from(sample_permille.min(1000)) / 1000.0;
+                let report = self.lock_cache().audit(rate, seed);
+                Response::Audited {
+                    sampled: report.sampled as u64,
+                    clean: report.clean as u64,
+                    repaired: report.repaired as u64,
+                    evicted: report.evicted as u64,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_core::GcConfig;
+    use gc_graph::LabeledGraph;
+    use gc_subiso::QueryKind;
+
+    fn triangle(label: u16) -> LabeledGraph {
+        LabeledGraph::from_parts(vec![label; 3], &[(0, 1), (1, 2), (0, 2)]).unwrap()
+    }
+
+    fn service(max_inflight: usize) -> CacheService {
+        let data = vec![triangle(0), triangle(1), triangle(0), triangle(2)];
+        let cache = ShardedGraphCache::new(GcConfig::default(), data, 2);
+        CacheService::new(cache, max_inflight, QueryBudget::UNLIMITED)
+    }
+
+    #[test]
+    fn query_answers_and_updates_apply() {
+        let svc = service(4);
+        let q = Request::Query {
+            kind: QueryKind::Subgraph,
+            deadline_ms: 0,
+            graph: triangle(0),
+        };
+        let Response::Answer { ids, degraded, .. } = svc.handle(q, Instant::now(), None) else {
+            panic!("expected answer");
+        };
+        assert_eq!(ids, vec![0, 2]);
+        assert_eq!(degraded, None);
+
+        // removing an edge of graph 0 removes it from the answer
+        let rsp = svc.handle(Request::Ur { id: 0, u: 0, v: 1 }, Instant::now(), None);
+        assert_eq!(rsp, Response::Updated { id: 0 });
+        let q = Request::Query {
+            kind: QueryKind::Subgraph,
+            deadline_ms: 0,
+            graph: triangle(0),
+        };
+        let Response::Answer { ids, .. } = svc.handle(q, Instant::now(), None) else {
+            panic!("expected answer");
+        };
+        assert_eq!(ids, vec![2]);
+
+        // updates against dead ids are terminal errors, not retryable
+        let rsp = svc.handle(Request::Ua { id: 99, u: 0, v: 1 }, Instant::now(), None);
+        assert!(matches!(rsp, Response::Error(_)));
+    }
+
+    #[test]
+    fn saturated_gate_sheds_with_explicit_overloaded() {
+        let svc = service(1);
+        // consume the only permit on shard 0's slot
+        let _held = svc.gate.try_acquire(0).expect("first permit");
+        // an update hashing to shard 0 is shed
+        let rsp = svc.handle(Request::Ua { id: 0, u: 0, v: 1 }, Instant::now(), None);
+        assert_eq!(rsp, Response::Overloaded);
+        // a fan-out query needs every slot, including the saturated one
+        let rsp = svc.handle(
+            Request::Query {
+                kind: QueryKind::Subgraph,
+                deadline_ms: 0,
+                graph: triangle(0),
+            },
+            Instant::now(),
+            None,
+        );
+        assert_eq!(rsp, Response::Overloaded);
+        // but shard 1's slot is free: an update hashing there proceeds
+        let rsp = svc.handle(Request::Ur { id: 1, u: 0, v: 1 }, Instant::now(), None);
+        assert_eq!(rsp, Response::Updated { id: 1 });
+        assert_eq!(svc.health_snapshot().load_shed, 2);
+        // releasing the permit restores query admission
+        drop(_held);
+        let rsp = svc.handle(
+            Request::Query {
+                kind: QueryKind::Subgraph,
+                deadline_ms: 0,
+                graph: triangle(0),
+            },
+            Instant::now(),
+            None,
+        );
+        assert!(matches!(rsp, Response::Answer { .. }));
+    }
+
+    #[test]
+    fn deadline_anchors_at_receipt() {
+        let svc = service(4);
+        // a request whose 1 ms deadline was already spent before handling
+        // (slow frame, queue wait) has no budget left: the answer must
+        // come back degraded immediately
+        let received = Instant::now();
+        std::thread::sleep(Duration::from_millis(5));
+        let t = Instant::now();
+        let rsp = svc.handle(
+            Request::Query {
+                kind: QueryKind::Subgraph,
+                deadline_ms: 1,
+                graph: triangle(0),
+            },
+            received,
+            None,
+        );
+        assert!(t.elapsed() < Duration::from_secs(5), "no hang");
+        let Response::Answer { degraded, .. } = rsp else {
+            panic!("expected answer");
+        };
+        assert!(degraded.is_some(), "spent deadline must tag the answer");
+    }
+
+    #[test]
+    fn stalled_shard_degrades_within_deadline() {
+        let svc = service(4);
+        let t = Instant::now();
+        let rsp = svc.handle(
+            Request::Query {
+                kind: QueryKind::Subgraph,
+                deadline_ms: 40,
+                graph: triangle(0),
+            },
+            Instant::now(),
+            Some(1),
+        );
+        let elapsed = t.elapsed();
+        assert!(elapsed >= Duration::from_millis(40));
+        assert!(elapsed < Duration::from_millis(160), "{elapsed:?}");
+        let Response::Answer { degraded, .. } = rsp else {
+            panic!("expected answer");
+        };
+        assert!(degraded.is_some());
+        // the stall was per-request: the next query is exact again
+        let rsp = svc.handle(
+            Request::Query {
+                kind: QueryKind::Subgraph,
+                deadline_ms: 0,
+                graph: triangle(0),
+            },
+            Instant::now(),
+            None,
+        );
+        let Response::Answer { ids, degraded, .. } = rsp else {
+            panic!("expected answer");
+        };
+        assert_eq!(ids, vec![0, 2]);
+        assert_eq!(degraded, None);
+    }
+}

@@ -4,9 +4,12 @@
 //! subset the workspace's benches use: `Criterion::benchmark_group`,
 //! `bench_function`, `bench_with_input`, `Bencher::{iter, iter_batched}`,
 //! `BenchmarkId`, `BatchSize`, and the `criterion_group!`/`criterion_main!`
-//! macros. No statistics engine — each benchmark is warmed up, then timed
-//! over an adaptive iteration count, and the mean time per iteration is
-//! printed.
+//! macros. The statistics engine is minimal but honest: the measuring
+//! window is split into [`SAMPLES`] independent samples, Tukey's fences
+//! (`q1 − 1.5·IQR`, `q3 + 1.5·IQR`) reject outlier samples — a GC pause,
+//! a scheduler preemption — and the report prints the surviving samples'
+//! mean ± standard deviation with the kept/rejected counts, so a noisy
+//! run is visibly noisy instead of silently folded into the mean.
 //!
 //! Knobs (environment variables / CLI args):
 //! * `--quick` arg or `CRITERION_QUICK=1` — cut measuring time ~6×, for CI
@@ -15,6 +18,63 @@
 //!   (default 300 ms, quick 50 ms).
 
 use std::time::{Duration, Instant};
+
+/// Independent timing samples per benchmark (the window is split across
+/// them); 12 gives stable quartiles without stretching the wall clock.
+pub const SAMPLES: usize = 12;
+
+/// Sample statistics after outlier rejection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    /// Mean per-iteration time of the surviving samples.
+    pub mean: Duration,
+    /// Standard deviation of the surviving samples.
+    pub std_dev: Duration,
+    /// Samples inside Tukey's fences.
+    pub kept: usize,
+    /// Samples rejected as outliers.
+    pub rejected: usize,
+}
+
+impl Summary {
+    const ZERO: Summary = Summary {
+        mean: Duration::ZERO,
+        std_dev: Duration::ZERO,
+        kept: 0,
+        rejected: 0,
+    };
+}
+
+/// Folds raw per-iteration samples into a [`Summary`]: samples outside
+/// Tukey's fences (`q1 − 1.5·IQR`, `q3 + 1.5·IQR`; quartiles at the
+/// `n/4` and `3n/4` order statistics) are rejected, then the mean and
+/// standard deviation of the survivors are computed. An empty slice
+/// yields the zero summary.
+pub fn summarize(samples: &[Duration]) -> Summary {
+    if samples.is_empty() {
+        return Summary::ZERO;
+    }
+    let mut sorted: Vec<f64> = samples.iter().map(|d| d.as_secs_f64()).collect();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let n = sorted.len();
+    let q1 = sorted[n / 4];
+    let q3 = sorted[(3 * n) / 4];
+    let iqr = q3 - q1;
+    let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    let kept: Vec<f64> = sorted
+        .iter()
+        .copied()
+        .filter(|&s| s >= lo && s <= hi)
+        .collect();
+    let mean = kept.iter().sum::<f64>() / kept.len() as f64;
+    let var = kept.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / kept.len() as f64;
+    Summary {
+        mean: Duration::from_secs_f64(mean),
+        std_dev: Duration::from_secs_f64(var.sqrt()),
+        kept: kept.len(),
+        rejected: n - kept.len(),
+    }
+}
 
 /// Target measuring window.
 fn measure_window() -> Duration {
@@ -62,23 +122,29 @@ impl BenchmarkId {
 /// Times closures.
 pub struct Bencher {
     window: Duration,
-    /// Mean time per iteration of the last run.
-    last_mean: Duration,
+    /// Statistics of the last run.
+    last_summary: Summary,
 }
 
 impl Bencher {
-    /// Times `routine`, running it repeatedly for the measuring window.
+    /// Times `routine`: the measuring window is split into [`SAMPLES`]
+    /// samples, each a mean over a calibrated iteration count.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // warmup + calibration: find an iteration count filling the window
+        // warmup + calibration: find an iteration count filling one sample
         let t0 = Instant::now();
         std::hint::black_box(routine());
         let once = t0.elapsed().max(Duration::from_nanos(50));
-        let iters = (self.window.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
-        let start = Instant::now();
-        for _ in 0..iters {
-            std::hint::black_box(routine());
+        let per_sample = self.window / SAMPLES as u32;
+        let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed() / iters as u32);
         }
-        self.last_mean = start.elapsed() / iters as u32;
+        self.last_summary = summarize(&samples);
     }
 
     /// Times `routine` over fresh inputs produced by `setup` (setup time is
@@ -92,20 +158,32 @@ impl Bencher {
         let t0 = Instant::now();
         std::hint::black_box(routine(input));
         let once = t0.elapsed().max(Duration::from_nanos(50));
-        let iters = (self.window.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
-        let mut total = Duration::ZERO;
-        for _ in 0..iters {
-            let input = setup();
-            let t = Instant::now();
-            std::hint::black_box(routine(input));
-            total += t.elapsed();
+        let per_sample = self.window / SAMPLES as u32;
+        let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let t = Instant::now();
+                std::hint::black_box(routine(input));
+                total += t.elapsed();
+            }
+            samples.push(total / iters as u32);
         }
-        self.last_mean = total / iters as u32;
+        self.last_summary = summarize(&samples);
     }
 }
 
-fn report(name: &str, mean: Duration) {
-    println!("{name:<50} time: [{mean:>12.3?}/iter]");
+fn report(name: &str, s: Summary) {
+    println!(
+        "{name:<50} time: [{:>12.3?} ± {:>9.3?} /iter]  ({}/{} samples, {} outliers rejected)",
+        s.mean,
+        s.std_dev,
+        s.kept,
+        s.kept + s.rejected,
+        s.rejected,
+    );
 }
 
 /// A named group of related benchmarks.
@@ -125,10 +203,10 @@ impl BenchmarkGroup<'_> {
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
         let mut b = Bencher {
             window: self.window,
-            last_mean: Duration::ZERO,
+            last_summary: Summary::ZERO,
         };
         f(&mut b);
-        report(&format!("{}/{id}", self.name), b.last_mean);
+        report(&format!("{}/{id}", self.name), b.last_summary);
         self
     }
 
@@ -139,10 +217,10 @@ impl BenchmarkGroup<'_> {
     {
         let mut b = Bencher {
             window: self.window,
-            last_mean: Duration::ZERO,
+            last_summary: Summary::ZERO,
         };
         f(&mut b, input);
-        report(&format!("{}/{}", self.name, id.id), b.last_mean);
+        report(&format!("{}/{}", self.name, id.id), b.last_summary);
         self
     }
 
@@ -178,10 +256,10 @@ impl Criterion {
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
         let mut b = Bencher {
             window: self.window,
-            last_mean: Duration::ZERO,
+            last_summary: Summary::ZERO,
         };
         f(&mut b);
-        report(id, b.last_mean);
+        report(id, b.last_summary);
         self
     }
 }
@@ -227,5 +305,45 @@ mod tests {
         });
         group.finish();
         c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn summarize_computes_mean_and_deviation() {
+        let ms = Duration::from_millis;
+        let s = summarize(&[ms(10), ms(12), ms(14)]);
+        assert_eq!(s.kept, 3);
+        assert_eq!(s.rejected, 0);
+        assert_eq!(s.mean, ms(12));
+        // population σ of {10, 12, 14} = sqrt(8/3) ≈ 1.633 ms (Duration
+        // rounds to whole nanoseconds, hence the loose tolerance)
+        let sigma = s.std_dev.as_secs_f64() * 1000.0;
+        assert!((sigma - (8.0f64 / 3.0).sqrt()).abs() < 1e-5, "{sigma}");
+    }
+
+    #[test]
+    fn summarize_rejects_tukey_outliers() {
+        let ms = Duration::from_millis;
+        // eleven tight samples and one scheduler hiccup
+        let samples: Vec<Duration> = [9, 10, 10, 10, 10, 11, 11, 11, 12, 12, 13, 500]
+            .into_iter()
+            .map(ms)
+            .collect();
+        let s = summarize(&samples);
+        assert_eq!(s.rejected, 1, "the 500 ms spike is outside the fences");
+        assert_eq!(s.kept, 11);
+        assert!(s.mean < ms(12), "mean must not absorb the spike: {s:?}");
+        // without rejection the spike would dominate the deviation
+        assert!(s.std_dev < ms(2), "{s:?}");
+    }
+
+    #[test]
+    fn summarize_degenerate_inputs() {
+        let s = summarize(&[]);
+        assert_eq!((s.kept, s.rejected), (0, 0));
+        assert_eq!(s.mean, Duration::ZERO);
+        let one = summarize(&[Duration::from_micros(7)]);
+        assert_eq!(one.kept, 1);
+        assert_eq!(one.mean, Duration::from_micros(7));
+        assert_eq!(one.std_dev, Duration::ZERO);
     }
 }
