@@ -37,6 +37,7 @@ use gc_bench::{
 };
 use gc_graph::stats::DatasetStats;
 use gc_subiso::Algorithm;
+use gc_telemetry::{HistogramSnapshot, StageSpans};
 
 fn usage() -> ! {
     eprintln!(
@@ -220,6 +221,7 @@ fn chaos(scale: Scale, out_path: &str) {
             "degraded",
             "divergent",
             "max deadline ratio",
+            "p99 ms",
             "panics contained",
             "audit repairs",
             "quarantined at end",
@@ -235,6 +237,7 @@ fn chaos(scale: Scale, out_path: &str) {
             c.degraded.to_string(),
             c.divergent.to_string(),
             f2(c.max_overrun),
+            f2(c.latency.p99() as f64 / 1000.0),
             c.panics_recovered.to_string(),
             c.audit_total.repaired.to_string(),
             c.quarantined_final.to_string(),
@@ -242,6 +245,34 @@ fn chaos(scale: Scale, out_path: &str) {
         ]);
     }
     println!("{}", t.render());
+
+    // fold the per-cell telemetry into suite-wide health + tail latency
+    let mut health = gc_core::HealthSnapshot::default();
+    let mut latency = HistogramSnapshot::default();
+    let mut stages = StageSpans::default();
+    for c in &report.cells {
+        health.merge(&c.health);
+        latency.merge(&c.latency);
+        stages.merge(&c.stages);
+    }
+    println!(
+        "health: {} panics contained, {} entries quarantined, {} degraded queries, \
+         {} audit repairs, {} audit evictions",
+        health.panics_recovered,
+        health.quarantined_entries,
+        health.degraded_queries,
+        health.audit_repairs,
+        health.audit_evictions
+    );
+    println!(
+        "latency (faulted side): p50 {} µs, p95 {} µs, p99 {} µs, max {} µs over {} queries",
+        latency.p50(),
+        latency.p95(),
+        latency.p99(),
+        latency.max(),
+        latency.count
+    );
+    print_stages(&stages);
     println!("wall time: {:.1}s", t0.elapsed().as_secs_f64());
     if let Err(e) = std::fs::write(out_path, report.to_json()) {
         eprintln!("cannot write chaos artifact '{out_path}': {e}");
@@ -288,6 +319,8 @@ fn net_chaos(scale: Scale, out_path: &str) {
             "baseline hits",
             "retries",
             "max deadline ratio",
+            "p95 ms",
+            "p99 ms",
             "hung",
         ],
     );
@@ -302,10 +335,78 @@ fn net_chaos(scale: Scale, out_path: &str) {
             s.baseline_hits.to_string(),
             s.retries.to_string(),
             f2(s.max_overrun),
+            f2(s.latency.p95() as f64 / 1000.0),
+            f2(s.latency.p99() as f64 / 1000.0),
             s.hung.to_string(),
         ]);
     }
     println!("{}", t.render());
+
+    let mut t = Table::new(
+        "Shed rate vs offered load (post-audit ramp, client retries off)",
+        &[
+            "clients",
+            "offered",
+            "completed",
+            "shed",
+            "shed rate",
+            "errors",
+        ],
+    );
+    for l in &report.ramp {
+        t.row(vec![
+            l.clients.to_string(),
+            l.offered.to_string(),
+            l.completed.to_string(),
+            l.shed.to_string(),
+            pct(l.shed_rate()),
+            l.errors.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let mut t = Table::new(
+        "Per-shard cache counters (live stats scrape)",
+        &[
+            "shard",
+            "hits",
+            "misses",
+            "evictions",
+            "quarantined",
+            "shed",
+        ],
+    );
+    for (i, s) in report.stats.shards.iter().enumerate() {
+        t.row(vec![
+            i.to_string(),
+            s.hits.to_string(),
+            s.misses.to_string(),
+            s.evictions.to_string(),
+            s.quarantined.to_string(),
+            s.shed.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "stats scrape: {} queries, {} updates; server latency p50 {} µs, p95 {} µs, \
+         p99 {} µs, max {} µs",
+        report.stats.queries,
+        report.stats.updates,
+        report.stats.latency.p50(),
+        report.stats.latency.p95(),
+        report.stats.latency.p99(),
+        report.stats.latency.max()
+    );
+    print_stages(&report.stats.stages);
+    println!(
+        "reconciliation: per-shard hits+misses vs {} ledger-executed queries -> {}",
+        report.executed_queries,
+        if report.reconciled() {
+            "ok"
+        } else {
+            "MISMATCH"
+        }
+    );
     println!(
         "updates: {} applied, {} re-issued after provably-unexecuted drops, {} failed",
         report.updates_applied, report.update_reissues, report.update_failures
@@ -332,13 +433,41 @@ fn net_chaos(scale: Scale, out_path: &str) {
         std::process::exit(1);
     }
     println!("wrote {out_path}");
+    let metrics_path = "METRICS_report.json";
+    if let Err(e) = std::fs::write(metrics_path, report.metrics_json()) {
+        eprintln!("cannot write metrics artifact '{metrics_path}': {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {metrics_path}");
     if !report.passed() {
         eprintln!(
             "net chaos FAILED: silent divergence, hung request, missing failover coverage, \
-             or a shard left unhealthy after audit"
+             a shard left unhealthy after audit, or a stats scrape that does not reconcile \
+             with the request ledger"
         );
         std::process::exit(1);
     }
+}
+
+/// Prints the pipeline-stage time breakdown of a [`StageSpans`] total.
+fn print_stages(stages: &StageSpans) {
+    let total = stages.total();
+    if total == 0 {
+        return;
+    }
+    let parts: Vec<String> = stages
+        .iter()
+        .filter(|(_, nanos)| *nanos > 0)
+        .map(|(stage, nanos)| {
+            format!(
+                "{} {:.1} ms ({:.0}%)",
+                stage.name(),
+                nanos as f64 / 1e6,
+                nanos as f64 / total as f64 * 100.0
+            )
+        })
+        .collect();
+    println!("pipeline stages: {}", parts.join(", "));
 }
 
 fn dataset_stats(dataset: &[gc_graph::LabeledGraph]) {

@@ -22,9 +22,12 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use gc_core::{AuditReport, FaultInjector, FaultPlan, GcConfig, GraphCachePlus, QueryBudget};
+use gc_core::{
+    AuditReport, FaultInjector, FaultPlan, GcConfig, GraphCachePlus, HealthSnapshot, QueryBudget,
+};
 use gc_dataset::{ChangeOp, ChangePlan, GraphStore, OpType};
 use gc_graph::LabeledGraph;
+use gc_telemetry::{Histogram, HistogramSnapshot, StageSpans};
 use gc_workload::Workload;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -94,6 +97,14 @@ pub struct ChaosCell {
     pub quarantined_final: usize,
     /// Panics contained by the isolation boundaries.
     pub panics_recovered: u64,
+    /// Harness-side per-query latency of the faulted instance,
+    /// microseconds.
+    pub latency: HistogramSnapshot,
+    /// Pipeline-stage wall time accumulated by the faulted instance
+    /// (chaos runs enable tracing).
+    pub stages: StageSpans,
+    /// The faulted instance's full fault-tolerance counters at the end.
+    pub health: HealthSnapshot,
 }
 
 impl ChaosCell {
@@ -134,7 +145,8 @@ impl ChaosReport {
                  \"exact\": {}, \"degraded\": {}, \"divergent\": {}, \
                  \"max_overrun\": {:.4}, \"panics_recovered\": {}, \
                  \"audits\": {}, \"audit_sampled\": {}, \"audit_repaired\": {}, \
-                 \"audit_evicted\": {}, \"quarantined_final\": {}}}{}\n",
+                 \"audit_evicted\": {}, \"quarantined_final\": {}, \
+                 \"latency_us\": {}, \"stage_nanos\": {}}}{}\n",
                 c.workload,
                 c.queries,
                 c.updates,
@@ -148,6 +160,8 @@ impl ChaosReport {
                 c.audit_total.repaired,
                 c.audit_total.evicted,
                 c.quarantined_final,
+                latency_json(&c.latency),
+                spans_json(&c.stages),
                 if i + 1 == self.cells.len() { "" } else { "," },
             ));
         }
@@ -193,6 +207,8 @@ pub fn run_chaos_cell(
             deadline: Some(cfg.deadline),
             max_tests: None,
         },
+        // chaos runs pay for full telemetry: stage spans feed the report
+        trace: true,
         ..GcConfig::default()
     };
     let oracle_config = GcConfig {
@@ -220,7 +236,11 @@ pub fn run_chaos_cell(
         audit_total: AuditReport::default(),
         quarantined_final: 0,
         panics_recovered: 0,
+        latency: HistogramSnapshot::default(),
+        stages: StageSpans::default(),
+        health: HealthSnapshot::default(),
     };
+    let latency = Histogram::new();
 
     for (i, q) in workload.queries.iter().enumerate() {
         // ---- fire due change batches through the panic boundary ----
@@ -253,6 +273,7 @@ pub fn run_chaos_cell(
         let truth = oracle.execute(q, workload.kind);
         let overrun = elapsed.as_secs_f64() / cfg.deadline.as_secs_f64();
         cell.max_overrun = cell.max_overrun.max(overrun);
+        latency.record(elapsed.as_micros().min(u64::MAX as u128) as u64);
         if out.metrics.degraded.is_some() {
             // a degraded partial may miss answers but must never invent one
             if out.answer.is_subset_of(&truth.answer) {
@@ -274,8 +295,33 @@ pub fn run_chaos_cell(
         faulted.audit(cfg.audit_rate, cfg.scale.seed),
     );
     cell.quarantined_final = faulted.quarantined_entries();
-    cell.panics_recovered = faulted.health_snapshot().panics_recovered;
+    cell.health = faulted.health_snapshot();
+    cell.panics_recovered = cell.health.panics_recovered;
+    cell.latency = latency.snapshot();
+    cell.stages = faulted.stage_totals();
     cell
+}
+
+/// Stage-span totals as a compact JSON object (`{"prefilter": ns, ...}`).
+pub(crate) fn spans_json(spans: &StageSpans) -> String {
+    let fields: Vec<String> = spans
+        .iter()
+        .map(|(stage, nanos)| format!("\"{}\": {}", stage.name(), nanos))
+        .collect();
+    format!("{{{}}}", fields.join(", "))
+}
+
+/// Histogram quantiles as a compact JSON object (values in the unit the
+/// histogram was recorded in — microseconds for latency).
+pub(crate) fn latency_json(snap: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}",
+        snap.count,
+        snap.p50(),
+        snap.p95(),
+        snap.p99(),
+        snap.max()
+    )
 }
 
 /// Materializes one planned op against the current store state, paralleling
@@ -397,6 +443,13 @@ mod tests {
             assert_eq!(c.quarantined_final, 0, "quarantine left in {}", c.workload);
             assert!(c.max_overrun <= 2.0, "deadline overrun in {}", c.workload);
             assert_eq!(c.queries, 60);
+            // telemetry rides along: one latency sample per query, and
+            // tracing accumulated real stage time
+            assert_eq!(c.latency.count, 60, "latency samples in {}", c.workload);
+            assert!(c.latency.max() > 0);
+            assert!(c.latency.p50() <= c.latency.p99());
+            assert!(c.stages.total() > 0, "no stage time in {}", c.workload);
+            assert_eq!(c.health.panics_recovered, c.panics_recovered);
         }
         assert!(report.passed());
         // the plan's panics actually fired somewhere in the suite
@@ -443,12 +496,17 @@ mod tests {
                 },
                 quarantined_final: 0,
                 panics_recovered: 1,
+                latency: HistogramSnapshot::default(),
+                stages: StageSpans::default(),
+                health: HealthSnapshot::default(),
             }],
         };
         let json = report.to_json();
         assert!(json.contains("\"passed\": true"));
         assert!(json.contains("\"workload\": \"ZZ\""));
         assert!(json.contains("\"audit_repaired\": 1"));
+        assert!(json.contains("\"latency_us\": {\"count\": 0"));
+        assert!(json.contains("\"stage_nanos\": {\"prefilter\": 0"));
         assert!(!json.contains(",\n  ]"), "no trailing comma");
     }
 }

@@ -37,13 +37,18 @@ use gc_core::{
 };
 use gc_dataset::ChangeOp;
 use gc_graph::{LabeledGraph, Zipf};
-use gc_server::{serve, CacheClient, CacheService, ClientError, RetryPolicy};
+use gc_server::{serve, CacheClient, CacheService, ClientError, RetryPolicy, ServiceStats};
 use gc_subiso::QueryKind;
+use gc_telemetry::{Histogram, HistogramSnapshot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::chaos::with_quiet_panics;
+use crate::chaos::{latency_json, spans_json, with_quiet_panics};
 use crate::{build_dataset, build_type_a_workloads, Scale};
+
+/// Queries each client of a ramp level issues (kept small: the sweep adds
+/// three levels on top of the two storms).
+const RAMP_QUERIES_PER_CLIENT: usize = 6;
 
 /// Knobs of one networked chaos run.
 #[derive(Debug, Clone)]
@@ -128,9 +133,18 @@ pub struct StormTally {
     pub max_overrun: f64,
     /// Replies that took longer than 2× the deadline. Must be zero.
     pub hung: usize,
+    /// Client-observed reply latency (microseconds, retries and backoff
+    /// included), merged across all storm clients.
+    pub latency: HistogramSnapshot,
 }
 
 impl StormTally {
+    /// Replies actually answered — the tally's contribution to the request
+    /// ledger a stats scrape reconciles against.
+    pub fn answered(&self) -> usize {
+        self.requests - self.errors
+    }
+
     fn absorb(&mut self, other: &StormTally) {
         self.requests += other.requests;
         self.exact += other.exact;
@@ -141,6 +155,37 @@ impl StormTally {
         self.retries += other.retries;
         self.max_overrun = self.max_overrun.max(other.max_overrun);
         self.hung += other.hung;
+        self.latency.merge(&other.latency);
+    }
+}
+
+/// One offered-load level of the post-audit ramp sweep (shed-rate vs
+/// offered load; clients run with retries off so shedding surfaces as
+/// explicit `Overloaded` instead of hiding inside backoff loops).
+#[derive(Debug, Clone, Default)]
+pub struct RampLevel {
+    /// Concurrent clients at this level.
+    pub clients: usize,
+    /// Requests offered.
+    pub offered: usize,
+    /// Replies answered (these join the request ledger).
+    pub completed: usize,
+    /// Requests shed with an explicit `Overloaded`.
+    pub shed: usize,
+    /// Other terminal errors (transport etc.) — not executed.
+    pub errors: usize,
+    /// Answered replies that silently diverged from truth. Must be zero.
+    pub divergent: usize,
+}
+
+impl RampLevel {
+    /// Fraction of offered requests the server shed at this level.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
     }
 }
 
@@ -173,12 +218,33 @@ pub struct NetChaosReport {
     pub unhealthy_final: Vec<usize>,
     /// Folded service + cache health counters at the end.
     pub health: HealthSnapshot,
+    /// The post-audit ramp sweep: shed rate vs offered load.
+    pub ramp: Vec<RampLevel>,
+    /// The live `stats` scrape taken over the wire before shutdown.
+    pub stats: ServiceStats,
+    /// Queries the ledger says were executed: answered storm replies plus
+    /// completed ramp replies. Shed and transport-failed calls are
+    /// provably unexecuted and excluded.
+    pub executed_queries: u64,
 }
 
 impl NetChaosReport {
     /// `true` when the plan contains a fault that makes clients retry.
     fn expects_retries(&self) -> bool {
         self.fault_plan.contains("drop-conn")
+    }
+
+    /// Does the stats scrape reconcile exactly with the request ledger?
+    /// Every executed query classifies once per shard (hit or miss), the
+    /// service query counter matches, and so does the update counter.
+    pub fn reconciled(&self) -> bool {
+        self.stats.queries == self.executed_queries
+            && self.stats.updates == self.updates_applied as u64
+            && self
+                .stats
+                .shards
+                .iter()
+                .all(|s| s.hits + s.misses == self.executed_queries)
     }
 
     /// Did the run satisfy every networked chaos invariant?
@@ -196,6 +262,8 @@ impl NetChaosReport {
             && self.audit_after.evicted == 0
             && self.unhealthy_final.is_empty()
             && self.health.panics_recovered >= 2
+            && self.ramp.iter().all(|l| l.divergent == 0)
+            && self.reconciled()
             && (!self.expects_retries()
                 || self.storm1.retries + self.storm2.retries + self.update_reissues > 0)
     }
@@ -206,7 +274,8 @@ impl NetChaosReport {
             format!(
                 "{{\"requests\": {}, \"exact\": {}, \"degraded\": {}, \
                  \"divergent\": {}, \"errors\": {}, \"baseline_hits\": {}, \
-                 \"retries\": {}, \"max_overrun\": {:.4}, \"hung\": {}}}",
+                 \"retries\": {}, \"max_overrun\": {:.4}, \"hung\": {}, \
+                 \"latency_us\": {}}}",
                 t.requests,
                 t.exact,
                 t.degraded,
@@ -216,6 +285,7 @@ impl NetChaosReport {
                 t.retries,
                 t.max_overrun,
                 t.hung,
+                latency_json(&t.latency),
             )
         }
         let mut out = String::new();
@@ -251,12 +321,92 @@ impl NetChaosReport {
             self.health.baseline_served,
         ));
         out.push_str(&format!(
-            "  \"unhealthy_final\": {:?}\n",
+            "  \"unhealthy_final\": {:?},\n",
             self.unhealthy_final
+        ));
+        out.push_str("  \"ramp\": [");
+        for (i, l) in self.ramp.iter().enumerate() {
+            out.push_str(&format!(
+                "{}{{\"clients\": {}, \"offered\": {}, \"completed\": {}, \
+                 \"shed\": {}, \"errors\": {}, \"divergent\": {}, \
+                 \"shed_rate\": {:.4}}}",
+                if i == 0 { "" } else { ", " },
+                l.clients,
+                l.offered,
+                l.completed,
+                l.shed,
+                l.errors,
+                l.divergent,
+                l.shed_rate(),
+            ));
+        }
+        out.push_str("],\n");
+        out.push_str(&format!(
+            "  \"executed_queries\": {},\n  \"reconciled\": {},\n",
+            self.executed_queries,
+            self.reconciled(),
+        ));
+        out.push_str(&format!("  \"stats\": {}\n", stats_json(&self.stats)));
+        out.push_str("}\n");
+        out
+    }
+
+    /// The standalone metrics artifact (`METRICS_report.json`): the stats
+    /// scrape, its reconciliation verdict, and the rendered Prometheus
+    /// exposition text.
+    pub fn metrics_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"reconciled\": {},\n  \"executed_queries\": {},\n  \"updates_applied\": {},\n",
+            self.reconciled(),
+            self.executed_queries,
+            self.updates_applied,
+        ));
+        out.push_str(&format!("  \"stats\": {},\n", stats_json(&self.stats)));
+        out.push_str(&format!(
+            "  \"storm1_latency_us\": {},\n  \"storm2_latency_us\": {},\n",
+            latency_json(&self.storm1.latency),
+            latency_json(&self.storm2.latency),
+        ));
+        out.push_str(&format!(
+            "  \"exposition\": \"{}\"\n",
+            json_escape(&self.stats.render_prometheus()),
         ));
         out.push_str("}\n");
         out
     }
+}
+
+/// A [`ServiceStats`] snapshot as one JSON object.
+fn stats_json(s: &ServiceStats) -> String {
+    let shards: Vec<String> = s
+        .shards
+        .iter()
+        .map(|sh| {
+            format!(
+                "{{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+                 \"quarantined\": {}, \"shed\": {}}}",
+                sh.hits, sh.misses, sh.evictions, sh.quarantined, sh.shed,
+            )
+        })
+        .collect();
+    format!(
+        "{{\"queries\": {}, \"updates\": {}, \"shards\": [{}], \
+         \"latency_us\": {}, \"stage_nanos\": {}}}",
+        s.queries,
+        s.updates,
+        shards.join(", "),
+        latency_json(&s.latency),
+        spans_json(&s.stages),
+    )
+}
+
+/// Minimal JSON string escaping for embedding exposition text.
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 /// Runs the full networked chaos suite (see the module docs for the
@@ -289,10 +439,13 @@ pub fn run_net_chaos(cfg: &NetChaosConfig) -> NetChaosReport {
     let panic_shard = cfg.shards - 1;
 
     // A small cache keeps full-rate audits affordable (mirrors the
-    // in-process chaos suite).
+    // in-process chaos suite). Full telemetry is on: the final stats
+    // scrape must carry a populated latency histogram and stage spans.
     let cache_config = GcConfig {
         cache_capacity: 48,
         window_capacity: 8,
+        metrics: true,
+        trace: true,
         ..GcConfig::default()
     };
     let mut cache = ShardedGraphCache::new(cache_config, dataset.clone(), cfg.shards);
@@ -320,7 +473,7 @@ pub fn run_net_chaos(cfg: &NetChaosConfig) -> NetChaosReport {
     let mut oracle = GraphCachePlus::new(oracle_config, dataset.clone());
     let truth1: Vec<Vec<u64>> = pool.iter().map(|q| ids_of(&mut oracle, q, kind)).collect();
 
-    let (storm1, updates, audit, audit_after, storm2) = with_quiet_panics(|| {
+    let (storm1, updates, audit, audit_after, storm2, ramp) = with_quiet_panics(|| {
         let storm1 = storm(addr, &pool, &truth1, kind, cfg, cfg.scale.seed ^ 0x51);
         let updates = run_updates(addr, &mut oracle, cfg);
         let mut driver = CacheClient::connect(addr);
@@ -328,8 +481,23 @@ pub fn run_net_chaos(cfg: &NetChaosConfig) -> NetChaosReport {
         let audit_after = audit_via(&mut driver, cfg.scale.seed + 1);
         let truth2: Vec<Vec<u64>> = pool.iter().map(|q| ids_of(&mut oracle, q, kind)).collect();
         let storm2 = storm(addr, &pool, &truth2, kind, cfg, cfg.scale.seed ^ 0x52);
-        (storm1, updates, audit, audit_after, storm2)
+        // post-audit ramp: sweep offered load with retries off, so shed
+        // requests surface as explicit Overloaded instead of retry noise
+        let ramp: Vec<RampLevel> = [1, cfg.clients, cfg.clients * 2]
+            .into_iter()
+            .map(|c| ramp_level(addr, &pool, &truth2, kind, cfg, c, cfg.scale.seed ^ 0x9A))
+            .collect();
+        (storm1, updates, audit, audit_after, storm2, ramp)
     });
+
+    // the scrape goes over the wire like any client would, while the
+    // server is still up — this is what CI reconciles against the ledger
+    let stats = CacheClient::connect(addr)
+        .stats()
+        .expect("stats scrape round-trip");
+    let executed_queries = (storm1.answered()
+        + storm2.answered()
+        + ramp.iter().map(|l| l.completed).sum::<usize>()) as u64;
 
     let health = server.service().health_snapshot();
     let unhealthy_final = server.service().unhealthy_shards();
@@ -349,6 +517,9 @@ pub fn run_net_chaos(cfg: &NetChaosConfig) -> NetChaosReport {
         audit_after,
         unhealthy_final,
         health,
+        ramp,
+        stats,
+        executed_queries,
     }
 }
 
@@ -409,11 +580,13 @@ fn storm_client(
     let mut rng = StdRng::seed_from_u64(seed);
     let zipf = Zipf::new(pool.len(), cfg.zipf_alpha);
     let mut t = StormTally::default();
+    let latency = Histogram::new();
     for _ in 0..cfg.queries_per_client {
         let idx = zipf.sample(&mut rng);
         t.requests += 1;
         match client.query(&pool[idx], kind, Some(cfg.deadline)) {
             Ok(reply) => {
+                latency.record(reply.elapsed.as_micros().min(u64::MAX as u128) as u64);
                 let overrun = reply.elapsed.as_secs_f64() / cfg.deadline.as_secs_f64();
                 t.max_overrun = t.max_overrun.max(overrun);
                 if overrun > 2.0 {
@@ -435,7 +608,74 @@ fn storm_client(
         }
     }
     t.retries = client.retries_total();
+    t.latency = latency.snapshot();
     t
+}
+
+/// One offered-load level: `clients` threads, each issuing
+/// [`RAMP_QUERIES_PER_CLIENT`] Zipf draws with retries disabled, so an
+/// overloaded server answers `Overloaded` and the level's shed rate is
+/// measured rather than amortized away by backoff.
+fn ramp_level(
+    addr: SocketAddr,
+    pool: &[LabeledGraph],
+    truth: &[Vec<u64>],
+    kind: QueryKind,
+    cfg: &NetChaosConfig,
+    clients: usize,
+    seed: u64,
+) -> RampLevel {
+    let tallies: Vec<(usize, usize, usize, usize)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let seed = seed.wrapping_add(c as u64);
+                s.spawn(move || {
+                    let mut client = CacheClient::connect(addr).with_policy(RetryPolicy {
+                        max_retries: 0,
+                        base: Duration::from_millis(1),
+                        cap: Duration::from_millis(1),
+                    });
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let zipf = Zipf::new(pool.len(), cfg.zipf_alpha);
+                    let (mut completed, mut shed, mut errors, mut divergent) = (0, 0, 0, 0);
+                    for _ in 0..RAMP_QUERIES_PER_CLIENT {
+                        let idx = zipf.sample(&mut rng);
+                        match client.query(&pool[idx], kind, Some(cfg.deadline)) {
+                            Ok(reply) => {
+                                completed += 1;
+                                let sound = match reply.degraded {
+                                    Some(_) => is_subset(&reply.ids, &truth[idx]),
+                                    None => reply.ids == truth[idx],
+                                };
+                                if !sound {
+                                    divergent += 1;
+                                }
+                            }
+                            Err(ClientError::Overloaded) => shed += 1,
+                            Err(_) => errors += 1,
+                        }
+                    }
+                    (completed, shed, errors, divergent)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ramp client thread panicked"))
+            .collect()
+    });
+    let mut level = RampLevel {
+        clients,
+        ..RampLevel::default()
+    };
+    for (completed, shed, errors, divergent) in tallies {
+        level.offered += completed + shed + errors;
+        level.completed += completed;
+        level.shed += shed;
+        level.errors += errors;
+        level.divergent += divergent;
+    }
+    level
 }
 
 /// Every id in `ids` present in the sorted `truth`.
@@ -557,10 +797,34 @@ mod tests {
         );
         assert_eq!(report.update_failures, 0);
         assert!(report.unhealthy_final.is_empty());
+
+        // telemetry invariants: the scrape reconciles with the ledger,
+        // client-side histograms saw every answered reply, and the
+        // metrics-enabled server recorded latency + stage time
+        assert!(report.reconciled(), "{report:?}");
+        assert_eq!(
+            report.storm1.latency.count as usize,
+            report.storm1.answered()
+        );
+        assert_eq!(report.stats.latency.count, report.stats.queries);
+        assert!(report.stats.stages.total() > 0, "{:?}", report.stats.stages);
+        assert_eq!(report.ramp.len(), 3);
+        for l in &report.ramp {
+            assert_eq!(l.offered, l.clients * RAMP_QUERIES_PER_CLIENT);
+            assert_eq!(l.completed + l.shed + l.errors, l.offered);
+            assert_eq!(l.divergent, 0, "{l:?}");
+        }
+
         assert!(report.passed(), "{report:?}");
         let json = report.to_json();
         assert!(json.contains("\"passed\": true"));
         assert!(json.contains("\"mode\": \"net\""));
+        assert!(json.contains("\"reconciled\": true"));
+        assert!(json.contains("\"ramp\": ["));
+        let metrics = report.metrics_json();
+        assert!(metrics.contains("\"reconciled\": true"));
+        assert!(metrics.contains("gc_requests_total"));
+        assert!(metrics.contains("gc_shard_hits_total"));
     }
 
     #[test]

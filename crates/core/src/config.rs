@@ -130,6 +130,15 @@ pub struct GcConfig {
     /// Client-side retry attempts (beyond the first try) for idempotent
     /// operations on transport errors or explicit `Retryable` responses.
     pub retry_max: u32,
+    /// Record per-query latency histograms (telemetry). Per-shard
+    /// hit/miss/eviction/shed counters are *always* on — they are single
+    /// relaxed atomic adds — but histogram recording is gated here so the
+    /// paper's measurement setting stays byte-for-byte untouched.
+    pub metrics: bool,
+    /// Record per-stage pipeline trace spans (pre-filter, candidate scan,
+    /// verify, hit probe, admission, audit). Implies extra `Instant::now`
+    /// calls on the query hot path; off by default for the same reason.
+    pub trace: bool,
 }
 
 impl Default for GcConfig {
@@ -147,6 +156,8 @@ impl Default for GcConfig {
             shards: 1,
             max_inflight: 64,
             retry_max: 3,
+            metrics: false,
+            trace: false,
         }
     }
 }
@@ -173,6 +184,8 @@ impl GcConfig {
     /// | `GC_DEADLINE_MS`  | `budget.deadline` | `0` = unlimited             |
     /// | `GC_MAX_INFLIGHT` | `max_inflight` | clamped to ≥ 1                 |
     /// | `GC_RETRY_MAX`    | `retry_max`    | `0` = never retry              |
+    /// | `GC_METRICS`      | `metrics`      | `1`/`true` or `0`/`false`      |
+    /// | `GC_TRACE`        | `trace`        | `1`/`true` or `0`/`false`      |
     ///
     /// Unset variables keep their defaults; set-but-malformed values are a
     /// deployment bug and return an error naming the offending variable.
@@ -188,6 +201,13 @@ impl GcConfig {
                 .parse()
                 .map_err(|_| format!("{key}: invalid value '{raw}'"))
         }
+        fn parse_flag(key: &str, raw: &str) -> Result<bool, String> {
+            match raw.trim() {
+                "1" | "true" => Ok(true),
+                "0" | "false" => Ok(false),
+                _ => Err(format!("{key}: invalid value '{raw}'")),
+            }
+        }
         let mut cfg = GcConfig::default();
         if let Some(raw) = get("GC_SHARDS") {
             cfg.shards = parse::<usize>("GC_SHARDS", &raw)?.max(1);
@@ -201,6 +221,12 @@ impl GcConfig {
         }
         if let Some(raw) = get("GC_RETRY_MAX") {
             cfg.retry_max = parse("GC_RETRY_MAX", &raw)?;
+        }
+        if let Some(raw) = get("GC_METRICS") {
+            cfg.metrics = parse_flag("GC_METRICS", &raw)?;
+        }
+        if let Some(raw) = get("GC_TRACE") {
+            cfg.trace = parse_flag("GC_TRACE", &raw)?;
         }
         Ok(cfg)
     }
@@ -259,6 +285,8 @@ mod tests {
                 "GC_DEADLINE_MS" => Some("250".into()),
                 "GC_MAX_INFLIGHT" => Some("16".into()),
                 "GC_RETRY_MAX" => Some("5".into()),
+                "GC_METRICS" => Some("1".into()),
+                "GC_TRACE" => Some("true".into()),
                 _ => None,
             }
         };
@@ -270,6 +298,33 @@ mod tests {
         );
         assert_eq!(c.max_inflight, 16);
         assert_eq!(c.retry_max, 5);
+        assert!(c.metrics);
+        assert!(c.trace);
+    }
+
+    #[test]
+    fn env_telemetry_flags_default_off_and_parse_both_spellings() {
+        let c = GcConfig::from_env_with(|_| None).unwrap();
+        assert!(!c.metrics, "histograms must be opt-in");
+        assert!(!c.trace, "spans must be opt-in");
+        let c = GcConfig::from_env_with(|k| match k {
+            "GC_METRICS" => Some(" true ".into()),
+            "GC_TRACE" => Some("0".into()),
+            _ => None,
+        })
+        .unwrap();
+        assert!(c.metrics, "whitespace-padded 'true' is accepted");
+        assert!(!c.trace);
+    }
+
+    #[test]
+    fn env_malformed_telemetry_flags_name_the_variable() {
+        let err =
+            GcConfig::from_env_with(|k| (k == "GC_METRICS").then(|| "yes".into())).unwrap_err();
+        assert!(err.contains("GC_METRICS"), "{err}");
+        assert!(err.contains("yes"), "{err}");
+        let err = GcConfig::from_env_with(|k| (k == "GC_TRACE").then(|| "2".into())).unwrap_err();
+        assert!(err.contains("GC_TRACE"), "{err}");
     }
 
     #[test]

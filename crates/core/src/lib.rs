@@ -62,5 +62,7 @@ pub use fault::{
     Fault, FaultInjector, FaultPlan, HealthSnapshot, QueryBudget, RequestDirective, RuntimeHealth,
 };
 pub use metrics::{AggregateMetrics, HitBreakdown, QueryMetrics};
-pub use sharded::{RoutedOutcome, ShardedGraphCache, PANIC_FAILOVER_THRESHOLD};
+pub use sharded::{
+    RoutedOutcome, ShardStats, ShardStatsSnapshot, ShardedGraphCache, PANIC_FAILOVER_THRESHOLD,
+};
 pub use system::{baseline_execute, AuditReport, GraphCachePlus, QueryOutcome};

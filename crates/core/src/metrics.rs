@@ -17,6 +17,7 @@
 use std::time::Duration;
 
 use gc_subiso::Interrupt;
+use gc_telemetry::StageSpans;
 
 /// Cache-hit classification for one query.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -31,6 +32,19 @@ pub struct HitBreakdown {
     pub exact_shortcut: bool,
     /// §6.3 optimal case 2 fired (provably empty answer, zero tests).
     pub empty_shortcut: bool,
+}
+
+impl HitBreakdown {
+    /// Did the cache contribute to this query at all — either a usable
+    /// hit (direct/exclusion) or one of the §6.3 shortcuts? Used by the
+    /// sharded deployment's per-shard hit/miss counters.
+    pub fn is_hit(&self) -> bool {
+        self.direct_hits > 0
+            || self.exclusion_hits > 0
+            || self.exact_match
+            || self.exact_shortcut
+            || self.empty_shortcut
+    }
 }
 
 /// Everything measured about one query execution.
@@ -60,6 +74,9 @@ pub struct QueryMetrics {
     pub degraded: Option<Interrupt>,
     /// Worker panics contained while executing this query.
     pub panics_recovered: u64,
+    /// Per-stage pipeline wall time for this query. All-zero unless the
+    /// system ran with [`GcConfig::trace`](crate::GcConfig::trace) on.
+    pub spans: StageSpans,
 }
 
 /// Running aggregation over a workload.
@@ -96,6 +113,9 @@ pub struct AggregateMetrics {
     pub degraded_queries: u64,
     /// Worker panics contained across all recorded queries.
     pub panics_recovered: u64,
+    /// Per-stage pipeline wall time summed over all recorded queries
+    /// (all-zero when tracing is off).
+    pub span_totals: StageSpans,
 }
 
 impl AggregateMetrics {
@@ -126,6 +146,7 @@ impl AggregateMetrics {
             self.degraded_queries += 1;
         }
         self.panics_recovered += m.panics_recovered;
+        self.span_totals.merge(&m.spans);
     }
 
     /// Average query time in milliseconds.
@@ -234,6 +255,45 @@ mod tests {
         agg.record(&metrics(1, 1, 1));
         assert_eq!(agg.degraded_queries, 1);
         assert_eq!(agg.panics_recovered, 2);
+    }
+
+    #[test]
+    fn hit_breakdown_classification() {
+        assert!(!HitBreakdown::default().is_hit());
+        for set in [
+            HitBreakdown {
+                direct_hits: 1,
+                ..HitBreakdown::default()
+            },
+            HitBreakdown {
+                exclusion_hits: 1,
+                ..HitBreakdown::default()
+            },
+            HitBreakdown {
+                exact_match: true,
+                ..HitBreakdown::default()
+            },
+            HitBreakdown {
+                empty_shortcut: true,
+                ..HitBreakdown::default()
+            },
+        ] {
+            assert!(set.is_hit(), "{set:?}");
+        }
+    }
+
+    #[test]
+    fn span_totals_accumulate_across_queries() {
+        use gc_telemetry::Stage;
+        let mut agg = AggregateMetrics::default();
+        let mut m = metrics(2, 1, 1);
+        m.spans.record(Stage::HitProbe, 100);
+        m.spans.record(Stage::Verify, 40);
+        agg.record(&m);
+        agg.record(&m);
+        assert_eq!(agg.span_totals.get(Stage::HitProbe), 200);
+        assert_eq!(agg.span_totals.get(Stage::Verify), 80);
+        assert_eq!(agg.span_totals.get(Stage::Audit), 0);
     }
 
     #[test]

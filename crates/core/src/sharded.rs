@@ -20,11 +20,13 @@
 //! asserted by `tests` below and the cross-crate suite.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gc_dataset::{ChangeOp, DatasetError};
 use gc_graph::{BitSet, LabeledGraph};
 use gc_subiso::{Interrupt, MethodM, QueryKind};
+use gc_telemetry::{Counter, StageSpans};
 
 use crate::config::GcConfig;
 use crate::fault::{HealthSnapshot, QueryBudget, RuntimeHealth};
@@ -76,6 +78,53 @@ pub struct RoutedOutcome {
     pub baseline_shards: u32,
 }
 
+/// Always-on per-shard cache-effectiveness counters (relaxed atomics —
+/// safe to share with the serving layer via [`stats_handle`]).
+///
+/// `hits + misses` advances by exactly one per query the shard *executed*,
+/// which is what lets a scrape reconcile against an external request
+/// ledger. Shed requests (rejected before execution) count separately.
+///
+/// [`stats_handle`]: ShardedGraphCache::stats_handle
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    /// Queries where this shard's cache contributed (any hit kind).
+    pub hits: Counter,
+    /// Queries this shard executed without any cache contribution
+    /// (including baseline-served and stalled slots).
+    pub misses: Counter,
+    /// Requests shed before reaching this shard (serving-layer
+    /// backpressure; incremented by the service, not the router).
+    pub shed: Counter,
+}
+
+/// Point-in-time copy of one shard's counters plus its live gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStatsSnapshot {
+    /// Cache-contributing queries (see [`ShardStats::hits`]).
+    pub hits: u64,
+    /// Cache-less executed queries.
+    pub misses: u64,
+    /// Cache evictions since the shard started.
+    pub evictions: u64,
+    /// Entries currently under quarantine (a gauge, not a counter).
+    pub quarantined: u64,
+    /// Requests shed by the serving layer.
+    pub shed: u64,
+}
+
+impl ShardStatsSnapshot {
+    /// Field-wise sum (quarantined is a gauge but sums meaningfully into
+    /// "entries quarantined across the deployment").
+    pub fn merge(&mut self, other: &ShardStatsSnapshot) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.quarantined += other.quarantined;
+        self.shed += other.shed;
+    }
+}
+
 /// A round-robin sharded GC+ deployment.
 pub struct ShardedGraphCache {
     shards: Vec<GraphCachePlus>,
@@ -90,6 +139,9 @@ pub struct ShardedGraphCache {
     /// Routing-layer counters (load shed, failovers, baseline serves) —
     /// shard-internal counters live on each shard's own health.
     router_health: RuntimeHealth,
+    /// Always-on per-shard hit/miss/shed counters, shareable with the
+    /// serving layer (which increments `shed` without the cache lock).
+    stats: Arc<Vec<ShardStats>>,
 }
 
 impl ShardedGraphCache {
@@ -121,6 +173,7 @@ impl ShardedGraphCache {
             config,
             states: vec![ShardState::default(); shard_count],
             router_health: RuntimeHealth::default(),
+            stats: Arc::new((0..shard_count).map(|_| ShardStats::default()).collect()),
         }
     }
 
@@ -133,6 +186,11 @@ impl ShardedGraphCache {
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The configuration every shard runs with.
+    pub fn config(&self) -> &GcConfig {
+        &self.config
     }
 
     /// Total live graphs across shards.
@@ -311,6 +369,14 @@ impl ShardedGraphCache {
             metrics.overhead_time += out.metrics.overhead_time;
             metrics.validation_time += out.metrics.validation_time;
             metrics.panics_recovered += out.metrics.panics_recovered;
+            metrics.spans.merge(&out.metrics.spans);
+            // every executed query counts exactly once per shard — the
+            // invariant a stats scrape reconciles against a request ledger
+            if out.metrics.hits.is_hit() {
+                self.stats[shard].hits.inc();
+            } else {
+                self.stats[shard].misses.inc();
+            }
             if metrics.degraded.is_none() {
                 // one degraded shard degrades the unioned outcome: the
                 // union may be missing that shard's share of the answer
@@ -381,6 +447,38 @@ impl ShardedGraphCache {
     /// Entries currently under quarantine across all shards.
     pub fn quarantined_entries(&self) -> usize {
         self.shards.iter().map(|s| s.quarantined_entries()).sum()
+    }
+
+    /// Shared handle to the per-shard counters, for layers that must
+    /// record (e.g. shed) without holding the cache itself.
+    pub fn stats_handle(&self) -> Arc<Vec<ShardStats>> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Point-in-time per-shard counters, with live eviction/quarantine
+    /// gauges folded in from each shard.
+    pub fn shard_stats(&self) -> Vec<ShardStatsSnapshot> {
+        self.shards
+            .iter()
+            .zip(self.stats.iter())
+            .map(|(shard, stats)| ShardStatsSnapshot {
+                hits: stats.hits.get(),
+                misses: stats.misses.get(),
+                evictions: shard.evictions(),
+                quarantined: shard.quarantined_entries() as u64,
+                shed: stats.shed.get(),
+            })
+            .collect()
+    }
+
+    /// Pipeline-stage wall time summed across all shards (all-zero unless
+    /// the configuration enables tracing).
+    pub fn stage_totals(&self) -> StageSpans {
+        let mut total = StageSpans::default();
+        for s in &self.shards {
+            total.merge(&s.stage_totals());
+        }
+        total
     }
 
     /// Runs the consistency auditor on every shard (repair mode), folding
@@ -638,6 +736,45 @@ mod tests {
         let third = sharded.execute_deadline(&q, QueryKind::Subgraph, QueryBudget::UNLIMITED);
         assert_eq!(third.outcome.answer, expected);
         assert_eq!(third.baseline_shards, 0);
+    }
+
+    #[test]
+    fn shard_counters_reconcile_with_executed_queries() {
+        let data = dataset(20, 21);
+        let mut sharded = ShardedGraphCache::new(GcConfig::default(), data.clone(), 3);
+        let queries = 7u64;
+        for i in 0..queries {
+            let q = query(&data, 200 + i);
+            sharded.execute(&q, QueryKind::Subgraph);
+        }
+        let stats = sharded.shard_stats();
+        assert_eq!(stats.len(), 3);
+        for (i, s) in stats.iter().enumerate() {
+            assert_eq!(
+                s.hits + s.misses,
+                queries,
+                "shard {i}: every executed query is classified exactly once"
+            );
+            assert_eq!(s.shed, 0, "nothing sheds without a serving layer");
+        }
+        // repeated queries hit: at least one shard saw a cache hit by now
+        let q = query(&data, 200);
+        sharded.execute(&q, QueryKind::Subgraph);
+        let after = sharded.shard_stats();
+        assert!(
+            after.iter().map(|s| s.hits).sum::<u64>() > 0,
+            "a repeated query must register as a hit somewhere"
+        );
+        // merge folds field-wise
+        let mut total = ShardStatsSnapshot::default();
+        for s in &after {
+            total.merge(s);
+        }
+        assert_eq!(total.hits + total.misses, (queries + 1) * 3);
+        // the shed counter is shared with the serving layer via the handle
+        let handle = sharded.stats_handle();
+        handle[1].shed.inc();
+        assert_eq!(sharded.shard_stats()[1].shed, 1);
     }
 
     #[test]

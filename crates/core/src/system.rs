@@ -52,6 +52,7 @@ use std::time::{Duration, Instant};
 use gc_dataset::{ChangeLog, ChangeOp, DatasetError, GraphId, GraphStore, LogAnalyzer, LogCursor};
 use gc_graph::{BitSet, LabeledGraph};
 use gc_subiso::{Interrupt, QueryKind};
+use gc_telemetry::{Stage, StageSpans};
 
 use crate::cache::CacheManager;
 use crate::config::{CacheModel, GcConfig};
@@ -96,6 +97,9 @@ pub struct GraphCachePlus {
     health: Arc<RuntimeHealth>,
     /// Deterministic fault injection, when enabled (tests / chaos driver).
     injector: Option<Arc<FaultInjector>>,
+    /// Pipeline-stage wall time accumulated across queries and audits.
+    /// All-zero unless `config.trace` is on.
+    stage_totals: StageSpans,
 }
 
 impl GraphCachePlus {
@@ -118,6 +122,7 @@ impl GraphCachePlus {
             ftv_index,
             health: Arc::new(RuntimeHealth::default()),
             injector: None,
+            stage_totals: StageSpans::default(),
         }
     }
 
@@ -237,10 +242,18 @@ impl GraphCachePlus {
         &self.aggregate
     }
 
+    /// Pipeline-stage wall time accumulated across queries *and* audits
+    /// since construction (or the last reset). All-zero unless
+    /// [`GcConfig::trace`] is on.
+    pub fn stage_totals(&self) -> StageSpans {
+        self.stage_totals
+    }
+
     /// Resets the aggregate metrics (e.g. after the paper's one-window
     /// warm-up before measurement starts).
     pub fn reset_metrics(&mut self) {
         self.aggregate = AggregateMetrics::default();
+        self.stage_totals = StageSpans::default();
     }
 
     /// Step 1 of the pipeline: consistency maintenance. Shared by query
@@ -328,9 +341,12 @@ impl GraphCachePlus {
         let candidate_size = csm.count_ones() as u64;
         let matcher = self.config.internal_matcher.matcher();
         let budget_token = (!budget.is_unlimited()).then_some(&token);
+        let trace = self.config.trace;
+        let mut spans = StageSpans::default();
         // Hit discovery under the token: an exhausted budget skips the
         // remaining probes, which only weakens pruning — every hit found
         // is real, so discovery never degrades the answer by itself.
+        let t_probe = trace.then(Instant::now);
         let hits = discover_hits_budgeted(
             query,
             kind,
@@ -340,19 +356,31 @@ impl GraphCachePlus {
             self.config.probe_parallelism,
             budget_token,
         );
+        if let Some(t) = t_probe {
+            spans.record(Stage::HitProbe, t.elapsed().as_nanos() as u64);
+        }
         let outcome = prune(&csm, &hits, &self.cache, &self.window, &csm);
 
         let (answer, tests, prefilter_skips, degraded, panics_recovered) =
             if outcome.candidates.is_empty() {
                 (outcome.direct_answers.clone(), 0, 0, None, 0)
             } else {
-                let m = self.config.method.run_budgeted(
+                let t_scan = trace.then(Instant::now);
+                let m = self.config.method.with_timing(trace).run_budgeted(
                     query,
                     kind,
                     &self.store,
                     &outcome.candidates,
                     &token,
                 );
+                if let Some(t) = t_scan {
+                    spans.record(Stage::CandidateScan, t.elapsed().as_nanos() as u64);
+                    // Prefilter/Verify are the scan's inner stages, summed
+                    // across workers — they can exceed CandidateScan's wall
+                    // time on a parallel scan.
+                    spans.record(Stage::Prefilter, m.prefilter_nanos);
+                    spans.record(Stage::Verify, m.verify_nanos);
+                }
                 let mut answer = m.answer;
                 answer.union_with(&outcome.direct_answers);
                 (
@@ -407,7 +435,11 @@ impl GraphCachePlus {
                 self.cache.admit_batch(batch);
             }
         }
-        overhead += t_admit.elapsed();
+        let admit_elapsed = t_admit.elapsed();
+        overhead += admit_elapsed;
+        if trace {
+            spans.record(Stage::Admission, admit_elapsed.as_nanos() as u64);
+        }
 
         if degraded.is_some() {
             self.health.add_degraded_query();
@@ -432,8 +464,10 @@ impl GraphCachePlus {
             },
             degraded,
             panics_recovered,
+            spans,
         };
         self.aggregate.record(&metrics);
+        self.stage_totals.merge(&spans);
         QueryOutcome { answer, metrics }
     }
 
@@ -542,6 +576,7 @@ impl GraphCachePlus {
     /// change log are *not* misdiagnosed as divergent — the auditor only
     /// flags corruption the consistency machinery cannot see.
     pub fn audit_with(&mut self, sample_rate: f64, seed: u64, repair: bool) -> AuditReport {
+        let t_audit = self.config.trace.then(Instant::now);
         self.maintain_consistency();
         let mut report = AuditReport::default();
         let live = self.store.live_bitset();
@@ -582,6 +617,10 @@ impl GraphCachePlus {
         }
         self.health.add_audit_repairs(report.repaired as u64);
         self.health.add_audit_evictions(report.evicted as u64);
+        if let Some(t) = t_audit {
+            self.stage_totals
+                .record(Stage::Audit, t.elapsed().as_nanos() as u64);
+        }
         report
     }
 
@@ -888,6 +927,44 @@ mod tests {
         assert_eq!(report.sampled, 1);
         assert_eq!(report.clean, 1);
         assert_eq!(gc.quarantined_entries(), 0);
+    }
+
+    #[test]
+    fn trace_flag_populates_stage_spans() {
+        let mut gc = GraphCachePlus::new(
+            GcConfig {
+                trace: true,
+                ..config()
+            },
+            dataset(),
+        );
+        let q = g(vec![0, 0], &[(0, 1)]);
+        let out = gc.execute(&q, QueryKind::Subgraph);
+        assert!(out.metrics.spans.get(Stage::HitProbe) > 0);
+        assert!(out.metrics.spans.get(Stage::CandidateScan) > 0);
+        assert!(out.metrics.spans.get(Stage::Verify) > 0);
+        assert!(out.metrics.spans.get(Stage::Admission) > 0);
+        assert_eq!(out.metrics.spans.get(Stage::Audit), 0);
+        gc.audit(1.0, 3);
+        let totals = gc.stage_totals();
+        assert!(totals.get(Stage::Audit) > 0, "audit passes are timed too");
+        assert!(totals.get(Stage::HitProbe) >= out.metrics.spans.get(Stage::HitProbe));
+        assert_eq!(
+            gc.aggregate_metrics().span_totals.get(Stage::CandidateScan),
+            out.metrics.spans.get(Stage::CandidateScan)
+        );
+        gc.reset_metrics();
+        assert_eq!(gc.stage_totals(), StageSpans::default());
+    }
+
+    #[test]
+    fn untraced_queries_record_no_spans() {
+        let mut gc = GraphCachePlus::new(config(), dataset());
+        let q = g(vec![0, 0], &[(0, 1)]);
+        let out = gc.execute(&q, QueryKind::Subgraph);
+        assert_eq!(out.metrics.spans, StageSpans::default());
+        gc.audit(1.0, 3);
+        assert_eq!(gc.stage_totals(), StageSpans::default());
     }
 
     #[test]

@@ -18,11 +18,11 @@
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
-use gc_core::HealthSnapshot;
+use gc_core::{HealthSnapshot, ShardStatsSnapshot};
 use gc_graph::LabeledGraph;
 use gc_subiso::{Interrupt, QueryKind};
 
-use crate::protocol::{read_frame, write_frame, Request, Response, WireError};
+use crate::protocol::{read_frame, write_frame, Request, Response, ServiceStats, WireError};
 
 /// Retry/backoff knobs.
 #[derive(Debug, Clone, Copy)]
@@ -186,9 +186,26 @@ impl CacheClient {
 
     /// Fetches the folded health counters.
     pub fn health(&mut self) -> Result<HealthSnapshot, ClientError> {
+        self.health_full().map(|(snapshot, _)| snapshot)
+    }
+
+    /// Fetches the folded health counters plus the per-shard
+    /// hit/miss/eviction/quarantine/shed counters they ride with.
+    pub fn health_full(
+        &mut self,
+    ) -> Result<(HealthSnapshot, Vec<ShardStatsSnapshot>), ClientError> {
         match self.call(&Request::Health)?.0 {
-            Response::Health(h) => Ok(h),
+            Response::Health { snapshot, shards } => Ok((snapshot, shards)),
             other => Err(unexpected("Health", &other)),
+        }
+    }
+
+    /// Scrapes the server's full telemetry snapshot (request counters,
+    /// health, per-shard stats, latency histogram, pipeline stage totals).
+    pub fn stats(&mut self) -> Result<ServiceStats, ClientError> {
+        match self.call(&Request::Stats)?.0 {
+            Response::Stats(stats) => Ok(*stats),
+            other => Err(unexpected("Stats", &other)),
         }
     }
 

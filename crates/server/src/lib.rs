@@ -26,6 +26,6 @@ pub mod server;
 pub mod service;
 
 pub use client::{CacheClient, ClientError, QueryReply, RetryPolicy};
-pub use protocol::{Request, Response, WireError};
+pub use protocol::{Request, Response, ServiceStats, WireError};
 pub use server::{serve, ServerHandle};
 pub use service::CacheService;

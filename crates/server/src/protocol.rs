@@ -21,9 +21,10 @@
 
 use std::io::{self, Read, Write};
 
-use gc_core::HealthSnapshot;
+use gc_core::{HealthSnapshot, ShardStatsSnapshot};
 use gc_graph::LabeledGraph;
 use gc_subiso::{Interrupt, QueryKind};
+use gc_telemetry::{HistogramSnapshot, StageSpans, HISTOGRAM_BUCKETS, STAGES};
 
 /// Upper bound on a frame body (tag + payload). Large enough for any
 /// realistic query graph or answer set, small enough that a corrupt
@@ -70,11 +71,14 @@ pub enum Request {
     Ua { id: u64, u: u32, v: u32 },
     /// Edge removal (UR) on a live dataset graph.
     Ur { id: u64, u: u32, v: u32 },
-    /// Fetch the folded health counters.
+    /// Fetch the folded health counters plus per-shard cache counters.
     Health,
     /// Run the consistency auditor (`sample_permille` of 1000 = audit
     /// every resident entry).
     Audit { sample_permille: u16, seed: u64 },
+    /// Scrape the full telemetry snapshot (counters, per-shard stats,
+    /// latency histogram, pipeline stage spans).
+    Stats,
 }
 
 impl Request {
@@ -83,10 +87,33 @@ impl Request {
     /// the client cannot know if the server acted before the line died.
     pub fn idempotent(&self) -> bool {
         match self {
-            Request::Query { .. } | Request::Health | Request::Audit { .. } => true,
+            Request::Query { .. } | Request::Health | Request::Audit { .. } | Request::Stats => {
+                true
+            }
             Request::Ua { .. } | Request::Ur { .. } => false,
         }
     }
+}
+
+/// Everything a `Stats` scrape returns — the service's full telemetry
+/// snapshot. All counters are cumulative since server start; the
+/// histogram/spans are all-zero when the server runs with recording off.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServiceStats {
+    /// Query requests executed (shed requests not included).
+    pub queries: u64,
+    /// Update requests applied.
+    pub updates: u64,
+    /// Folded fault-tolerance counters (same as the health reply).
+    pub health: HealthSnapshot,
+    /// Per-shard hit/miss/eviction/quarantine/shed counters.
+    pub shards: Vec<ShardStatsSnapshot>,
+    /// End-to-end request latency (recorded from frame receipt to reply,
+    /// in microseconds) — only populated when metrics are enabled.
+    pub latency: HistogramSnapshot,
+    /// Pipeline stage spans summed across shards — only populated when
+    /// tracing is enabled.
+    pub stages: StageSpans,
 }
 
 /// Server → client messages.
@@ -102,8 +129,11 @@ pub enum Response {
     },
     /// Update applied to the given global id.
     Updated { id: u64 },
-    /// Folded health counters.
-    Health(HealthSnapshot),
+    /// Folded health counters plus per-shard cache counters.
+    Health {
+        snapshot: HealthSnapshot,
+        shards: Vec<ShardStatsSnapshot>,
+    },
     /// Auditor outcome.
     Audited {
         sampled: u64,
@@ -117,6 +147,8 @@ pub enum Response {
     /// Failed before execution in a way worth retrying (any request
     /// kind): the server vouches no state changed.
     Retryable(String),
+    /// Full telemetry snapshot.
+    Stats(Box<ServiceStats>),
     /// Terminal failure; do not retry.
     Error(String),
 }
@@ -128,6 +160,7 @@ const REQ_UA: u8 = 0x02;
 const REQ_UR: u8 = 0x03;
 const REQ_HEALTH: u8 = 0x04;
 const REQ_AUDIT: u8 = 0x05;
+const REQ_STATS: u8 = 0x06;
 
 const RSP_ANSWER: u8 = 0x81;
 const RSP_UPDATED: u8 = 0x82;
@@ -136,6 +169,7 @@ const RSP_AUDITED: u8 = 0x84;
 const RSP_OVERLOADED: u8 = 0x85;
 const RSP_RETRYABLE: u8 = 0x86;
 const RSP_ERROR: u8 = 0x87;
+const RSP_STATS: u8 = 0x88;
 
 fn kind_code(kind: QueryKind) -> u8 {
     match kind {
@@ -259,6 +293,9 @@ impl<'a> Dec<'a> {
         LabeledGraph::from_parts(labels, &edges)
             .map_err(|e| WireError::Malformed(format!("graph: {e}")))
     }
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
     fn done(&self) -> Result<(), WireError> {
         if self.at == self.buf.len() {
             Ok(())
@@ -269,6 +306,111 @@ impl<'a> Dec<'a> {
             )))
         }
     }
+}
+
+// ------------------------------------------------- telemetry encoding --
+
+fn encode_health(e: &mut Enc, h: &HealthSnapshot) {
+    for v in [
+        h.panics_recovered,
+        h.quarantined_entries,
+        h.degraded_queries,
+        h.audit_repairs,
+        h.audit_evictions,
+        h.load_shed,
+        h.shard_failovers,
+        h.baseline_served,
+    ] {
+        e.u64(v);
+    }
+}
+
+fn decode_health(d: &mut Dec) -> Result<HealthSnapshot, WireError> {
+    let mut v = [0u64; 8];
+    for slot in &mut v {
+        *slot = d.u64()?;
+    }
+    Ok(HealthSnapshot {
+        panics_recovered: v[0],
+        quarantined_entries: v[1],
+        degraded_queries: v[2],
+        audit_repairs: v[3],
+        audit_evictions: v[4],
+        load_shed: v[5],
+        shard_failovers: v[6],
+        baseline_served: v[7],
+    })
+}
+
+/// Bytes one encoded [`ShardStatsSnapshot`] occupies (5 × u64).
+const SHARD_STATS_BYTES: usize = 40;
+
+fn encode_shard_stats(e: &mut Enc, shards: &[ShardStatsSnapshot]) {
+    e.u32(shards.len() as u32);
+    for s in shards {
+        e.u64(s.hits);
+        e.u64(s.misses);
+        e.u64(s.evictions);
+        e.u64(s.quarantined);
+        e.u64(s.shed);
+    }
+}
+
+fn decode_shard_stats(d: &mut Dec) -> Result<Vec<ShardStatsSnapshot>, WireError> {
+    let n = d.u32()? as usize;
+    if n.saturating_mul(SHARD_STATS_BYTES) > d.remaining() {
+        return Err(WireError::Malformed("shard count exceeds frame".into()));
+    }
+    let mut shards = Vec::with_capacity(n);
+    for _ in 0..n {
+        shards.push(ShardStatsSnapshot {
+            hits: d.u64()?,
+            misses: d.u64()?,
+            evictions: d.u64()?,
+            quarantined: d.u64()?,
+            shed: d.u64()?,
+        });
+    }
+    Ok(shards)
+}
+
+fn encode_histogram(e: &mut Enc, h: &HistogramSnapshot) {
+    e.u32(HISTOGRAM_BUCKETS as u32);
+    for &b in &h.buckets {
+        e.u64(b);
+    }
+    e.u64(h.count);
+    e.u64(h.sum);
+    e.u64(h.max);
+}
+
+fn decode_histogram(d: &mut Dec) -> Result<HistogramSnapshot, WireError> {
+    let n = d.u32()? as usize;
+    if n != HISTOGRAM_BUCKETS {
+        return Err(WireError::Malformed(format!("histogram bucket count {n}")));
+    }
+    let mut snap = HistogramSnapshot::default();
+    for b in &mut snap.buckets {
+        *b = d.u64()?;
+    }
+    snap.count = d.u64()?;
+    snap.sum = d.u64()?;
+    snap.max = d.u64()?;
+    Ok(snap)
+}
+
+fn encode_spans(e: &mut Enc, spans: &StageSpans) {
+    for (_, nanos) in spans.iter() {
+        e.u64(nanos);
+    }
+}
+
+fn decode_spans(d: &mut Dec) -> Result<StageSpans, WireError> {
+    let mut spans = StageSpans::default();
+    for stage in STAGES {
+        spans.record(stage, d.u64()?);
+    }
+    Ok(spans)
 }
 
 impl Request {
@@ -307,6 +449,7 @@ impl Request {
                 e.u16(*sample_permille);
                 e.u64(*seed);
             }
+            Request::Stats => e.u8(REQ_STATS),
         }
         e.0
     }
@@ -344,6 +487,7 @@ impl Request {
                 sample_permille: d.u16()?,
                 seed: d.u64()?,
             },
+            REQ_STATS => Request::Stats,
             t => return Err(WireError::Malformed(format!("request tag {t:#x}"))),
         };
         d.done()?;
@@ -373,20 +517,10 @@ impl Response {
                 e.u8(RSP_UPDATED);
                 e.u64(*id);
             }
-            Response::Health(h) => {
+            Response::Health { snapshot, shards } => {
                 e.u8(RSP_HEALTH);
-                for v in [
-                    h.panics_recovered,
-                    h.quarantined_entries,
-                    h.degraded_queries,
-                    h.audit_repairs,
-                    h.audit_evictions,
-                    h.load_shed,
-                    h.shard_failovers,
-                    h.baseline_served,
-                ] {
-                    e.u64(v);
-                }
+                encode_health(&mut e, snapshot);
+                encode_shard_stats(&mut e, shards);
             }
             Response::Audited {
                 sampled,
@@ -404,6 +538,15 @@ impl Response {
             Response::Retryable(m) => {
                 e.u8(RSP_RETRYABLE);
                 e.bytes(m.as_bytes());
+            }
+            Response::Stats(s) => {
+                e.u8(RSP_STATS);
+                e.u64(s.queries);
+                e.u64(s.updates);
+                encode_health(&mut e, &s.health);
+                encode_shard_stats(&mut e, &s.shards);
+                encode_histogram(&mut e, &s.latency);
+                encode_spans(&mut e, &s.stages);
             }
             Response::Error(m) => {
                 e.u8(RSP_ERROR);
@@ -435,22 +578,10 @@ impl Response {
                 }
             }
             RSP_UPDATED => Response::Updated { id: d.u64()? },
-            RSP_HEALTH => {
-                let mut v = [0u64; 8];
-                for slot in &mut v {
-                    *slot = d.u64()?;
-                }
-                Response::Health(HealthSnapshot {
-                    panics_recovered: v[0],
-                    quarantined_entries: v[1],
-                    degraded_queries: v[2],
-                    audit_repairs: v[3],
-                    audit_evictions: v[4],
-                    load_shed: v[5],
-                    shard_failovers: v[6],
-                    baseline_served: v[7],
-                })
-            }
+            RSP_HEALTH => Response::Health {
+                snapshot: decode_health(&mut d)?,
+                shards: decode_shard_stats(&mut d)?,
+            },
             RSP_AUDITED => Response::Audited {
                 sampled: d.u64()?,
                 clean: d.u64()?,
@@ -459,6 +590,14 @@ impl Response {
             },
             RSP_OVERLOADED => Response::Overloaded,
             RSP_RETRYABLE => Response::Retryable(d.string()?),
+            RSP_STATS => Response::Stats(Box::new(ServiceStats {
+                queries: d.u64()?,
+                updates: d.u64()?,
+                health: decode_health(&mut d)?,
+                shards: decode_shard_stats(&mut d)?,
+                latency: decode_histogram(&mut d)?,
+                stages: decode_spans(&mut d)?,
+            })),
             RSP_ERROR => Response::Error(d.string()?),
             t => return Err(WireError::Malformed(format!("response tag {t:#x}"))),
         };
@@ -537,6 +676,7 @@ mod tests {
             sample_permille: 1000,
             seed: 42,
         });
+        roundtrip_req(Request::Stats);
     }
 
     #[test]
@@ -552,16 +692,28 @@ mod tests {
             baseline_shards: 2,
         });
         roundtrip_rsp(Response::Updated { id: 12 });
-        roundtrip_rsp(Response::Health(HealthSnapshot {
-            panics_recovered: 1,
-            quarantined_entries: 2,
-            degraded_queries: 3,
-            audit_repairs: 4,
-            audit_evictions: 5,
-            load_shed: 6,
-            shard_failovers: 7,
-            baseline_served: 8,
-        }));
+        roundtrip_rsp(Response::Health {
+            snapshot: HealthSnapshot {
+                panics_recovered: 1,
+                quarantined_entries: 2,
+                degraded_queries: 3,
+                audit_repairs: 4,
+                audit_evictions: 5,
+                load_shed: 6,
+                shard_failovers: 7,
+                baseline_served: 8,
+            },
+            shards: vec![
+                ShardStatsSnapshot {
+                    hits: 10,
+                    misses: 20,
+                    evictions: 3,
+                    quarantined: 1,
+                    shed: 2,
+                },
+                ShardStatsSnapshot::default(),
+            ],
+        });
         roundtrip_rsp(Response::Audited {
             sampled: 10,
             clean: 9,
@@ -571,6 +723,75 @@ mod tests {
         roundtrip_rsp(Response::Overloaded);
         roundtrip_rsp(Response::Retryable("update lock poisoned".into()));
         roundtrip_rsp(Response::Error("no such graph 4".into()));
+    }
+
+    #[test]
+    fn stats_response_round_trips() {
+        use gc_telemetry::{Histogram, Stage};
+        let h = Histogram::new();
+        for v in [3u64, 250, 250, 90_000, 1_000_000] {
+            h.record(v);
+        }
+        let mut stages = StageSpans::default();
+        stages.record(Stage::HitProbe, 12_345);
+        stages.record(Stage::Verify, 678_900);
+        let stats = ServiceStats {
+            queries: 420,
+            updates: 17,
+            health: HealthSnapshot {
+                load_shed: 9,
+                ..HealthSnapshot::default()
+            },
+            shards: vec![
+                ShardStatsSnapshot {
+                    hits: 300,
+                    misses: 120,
+                    evictions: 5,
+                    quarantined: 0,
+                    shed: 9,
+                },
+                ShardStatsSnapshot {
+                    hits: 10,
+                    misses: 410,
+                    evictions: 0,
+                    quarantined: 2,
+                    shed: 0,
+                },
+            ],
+            latency: h.snapshot(),
+            stages,
+        };
+        roundtrip_rsp(Response::Stats(Box::new(stats)));
+        // an empty snapshot (fresh server, metrics off) also round-trips
+        roundtrip_rsp(Response::Stats(Box::default()));
+    }
+
+    #[test]
+    fn malformed_stats_payloads_are_rejected() {
+        // a shard count far beyond the frame must fail fast, not allocate
+        let mut evil = vec![RSP_HEALTH];
+        evil.extend_from_slice(&[0u8; 64]); // valid health counters
+        evil.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            Response::decode(&evil),
+            Err(WireError::Malformed(_))
+        ));
+        // a histogram with the wrong bucket count is a protocol error
+        let good = Response::Stats(Box::default()).encode();
+        let mut bad = good.clone();
+        // bucket-count word sits after tag + 2×u64 + 8×u64 health + shard count
+        let at = 1 + 16 + 64 + 4;
+        bad[at..at + 4].copy_from_slice(&63u32.to_be_bytes());
+        assert!(matches!(
+            Response::decode(&bad),
+            Err(WireError::Malformed(_))
+        ));
+        // truncated mid-histogram
+        assert!(Response::decode(&good[..good.len() - 5]).is_err());
+        // trailing garbage is rejected
+        let mut long = good.clone();
+        long.push(0);
+        assert!(Response::decode(&long).is_err());
     }
 
     #[test]

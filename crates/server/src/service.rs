@@ -5,13 +5,14 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use gc_core::{HealthSnapshot, QueryBudget, RuntimeHealth, ShardedGraphCache};
+use gc_core::{HealthSnapshot, QueryBudget, RuntimeHealth, ShardStats, ShardedGraphCache};
 use gc_dataset::ChangeOp;
+use gc_telemetry::{Counter, Exposition, Histogram, STAGES};
 
-use crate::protocol::{Request, Response};
+use crate::protocol::{Request, Response, ServiceStats};
 
 /// Bounded per-shard in-flight accounting. Acquired *before* the cache
 /// lock so load is shed deterministically at admission instead of queueing
@@ -83,6 +84,17 @@ pub struct CacheService {
     health: RuntimeHealth,
     default_budget: QueryBudget,
     shard_count: usize,
+    /// Per-shard hit/miss/shed counters shared with the router — the shed
+    /// leg is recorded here, pre-lock, so backpressure stays lock-free.
+    shard_stats: Arc<Vec<ShardStats>>,
+    /// Query requests answered (always on — one relaxed add each).
+    queries: Counter,
+    /// Update requests applied.
+    updates: Counter,
+    /// End-to-end request latency in microseconds, anchored at frame
+    /// receipt. Recording is gated on the cache config's `metrics` flag.
+    latency: Histogram,
+    metrics_enabled: bool,
 }
 
 impl CacheService {
@@ -91,12 +103,19 @@ impl CacheService {
     /// no deadline of their own.
     pub fn new(cache: ShardedGraphCache, max_inflight: usize, default_budget: QueryBudget) -> Self {
         let shard_count = cache.shard_count();
+        let shard_stats = cache.stats_handle();
+        let metrics_enabled = cache.config().metrics;
         CacheService {
             cache: Mutex::new(cache),
             gate: InflightGate::new(shard_count, max_inflight),
             health: RuntimeHealth::default(),
             default_budget,
             shard_count,
+            shard_stats,
+            queries: Counter::new(),
+            updates: Counter::new(),
+            latency: Histogram::new(),
+            metrics_enabled,
         }
     }
 
@@ -117,6 +136,24 @@ impl CacheService {
         let mut total = self.health.snapshot();
         total.merge(&self.lock_cache().health_snapshot());
         total
+    }
+
+    /// Full telemetry snapshot — what a `Stats` scrape returns.
+    pub fn stats(&self) -> ServiceStats {
+        let mut health = self.health.snapshot();
+        let (shards, stages) = {
+            let cache = self.lock_cache();
+            health.merge(&cache.health_snapshot());
+            (cache.shard_stats(), cache.stage_totals())
+        };
+        ServiceStats {
+            queries: self.queries.get(),
+            updates: self.updates.get(),
+            health,
+            shards,
+            latency: self.latency.snapshot(),
+            stages,
+        }
     }
 
     /// Shards currently failed over to baseline serving.
@@ -142,6 +179,11 @@ impl CacheService {
             } => {
                 let Some(_permit) = self.gate.try_acquire_all() else {
                     self.health.add_load_shed();
+                    // a shed query never reached any shard: every shard's
+                    // shed counter advances (the fan-out they did not see)
+                    for s in self.shard_stats.iter() {
+                        s.shed.inc();
+                    }
                     return Response::Overloaded;
                 };
                 let budget = if deadline_ms > 0 {
@@ -169,22 +211,30 @@ impl CacheService {
                 if let Some(shard) = stall_shard {
                     cache.set_shard_stalled(shard, false);
                 }
-                match routed {
-                    Ok(routed) => Response::Answer {
-                        ids: routed
-                            .outcome
-                            .answer
-                            .iter_ones()
-                            .map(|g| g as u64)
-                            .collect(),
-                        degraded: routed.outcome.metrics.degraded,
-                        baseline_shards: routed.baseline_shards,
-                    },
+                let rsp = match routed {
+                    Ok(routed) => {
+                        self.queries.inc();
+                        Response::Answer {
+                            ids: routed
+                                .outcome
+                                .answer
+                                .iter_ones()
+                                .map(|g| g as u64)
+                                .collect(),
+                            degraded: routed.outcome.metrics.degraded,
+                            baseline_shards: routed.baseline_shards,
+                        }
+                    }
                     // execute_deadline contains worker panics itself; a
                     // panic escaping it is a router bug, but the query has
                     // not produced an answer — report rather than wedge
                     Err(_) => Response::Error("query execution panicked".into()),
+                };
+                if self.metrics_enabled {
+                    self.latency
+                        .record(received.elapsed().as_micros().min(u64::MAX as u128) as u64);
                 }
+                rsp
             }
             Request::Ua { id, u, v } | Request::Ur { id, u, v } => {
                 let add = matches!(req, Request::Ua { .. });
@@ -194,6 +244,7 @@ impl CacheService {
                 let slot = (id as usize) % self.shard_count;
                 let Some(_permit) = self.gate.try_acquire(slot) else {
                     self.health.add_load_shed();
+                    self.shard_stats[slot].shed.inc();
                     return Response::Overloaded;
                 };
                 let mut cache = self.lock_cache();
@@ -211,14 +262,26 @@ impl CacheService {
                     }
                 };
                 match catch_unwind(AssertUnwindSafe(|| cache.apply(op))) {
-                    Ok(Ok(global)) => Response::Updated { id: global as u64 },
+                    Ok(Ok(global)) => {
+                        self.updates.inc();
+                        Response::Updated { id: global as u64 }
+                    }
                     Ok(Err(e)) => Response::Error(format!("update rejected: {e:?}")),
                     // injected update panics fire before any mutation, so
                     // the op did not land: vouch for a safe retry
                     Err(_) => Response::Retryable("update panicked before mutation".into()),
                 }
             }
-            Request::Health => Response::Health(self.health_snapshot()),
+            Request::Health => {
+                let mut snapshot = self.health.snapshot();
+                let shards = {
+                    let cache = self.lock_cache();
+                    snapshot.merge(&cache.health_snapshot());
+                    cache.shard_stats()
+                };
+                Response::Health { snapshot, shards }
+            }
+            Request::Stats => Response::Stats(Box::new(self.stats())),
             Request::Audit {
                 sample_permille,
                 seed,
@@ -233,6 +296,54 @@ impl CacheService {
                 }
             }
         }
+    }
+}
+
+impl ServiceStats {
+    /// Renders the snapshot in Prometheus text exposition format. Metric
+    /// names are stable; dashboards key on them, so additions only.
+    pub fn render_prometheus(&self) -> String {
+        let mut exp = Exposition::new();
+        exp.counter("gc_requests_total", &[("kind", "query")], self.queries);
+        exp.counter("gc_requests_total", &[("kind", "update")], self.updates);
+        exp.counter("gc_load_shed_total", &[], self.health.load_shed);
+        exp.counter(
+            "gc_panics_recovered_total",
+            &[],
+            self.health.panics_recovered,
+        );
+        exp.counter(
+            "gc_quarantined_entries_total",
+            &[],
+            self.health.quarantined_entries,
+        );
+        exp.counter(
+            "gc_degraded_queries_total",
+            &[],
+            self.health.degraded_queries,
+        );
+        exp.counter("gc_audit_repairs_total", &[], self.health.audit_repairs);
+        exp.counter("gc_audit_evictions_total", &[], self.health.audit_evictions);
+        exp.counter("gc_shard_failovers_total", &[], self.health.shard_failovers);
+        exp.counter("gc_baseline_served_total", &[], self.health.baseline_served);
+        for (i, s) in self.shards.iter().enumerate() {
+            let idx = i.to_string();
+            let shard = [("shard", idx.as_str())];
+            exp.counter("gc_shard_hits_total", &shard, s.hits);
+            exp.counter("gc_shard_misses_total", &shard, s.misses);
+            exp.counter("gc_shard_evictions_total", &shard, s.evictions);
+            exp.gauge("gc_shard_quarantined_entries", &shard, s.quarantined);
+            exp.counter("gc_shard_shed_total", &shard, s.shed);
+        }
+        exp.histogram("gc_request_latency_microseconds", &[], &self.latency);
+        for stage in STAGES {
+            exp.counter(
+                "gc_stage_nanos_total",
+                &[("stage", stage.name())],
+                self.stages.get(stage),
+            );
+        }
+        exp.render()
     }
 }
 
@@ -320,6 +431,70 @@ mod tests {
             None,
         );
         assert!(matches!(rsp, Response::Answer { .. }));
+    }
+
+    #[test]
+    fn stats_counters_track_requests_and_render() {
+        let svc = service(4);
+        for label in [0u16, 1, 2] {
+            let rsp = svc.handle(
+                Request::Query {
+                    kind: QueryKind::Subgraph,
+                    deadline_ms: 0,
+                    graph: triangle(label),
+                },
+                Instant::now(),
+                None,
+            );
+            assert!(matches!(rsp, Response::Answer { .. }));
+        }
+        let rsp = svc.handle(Request::Ur { id: 0, u: 0, v: 1 }, Instant::now(), None);
+        assert!(matches!(rsp, Response::Updated { .. }));
+
+        let stats = svc.stats();
+        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.updates, 1);
+        // every executed query classifies exactly once per shard
+        for s in &stats.shards {
+            assert_eq!(s.hits + s.misses, 3);
+            assert_eq!(s.shed, 0);
+        }
+        // default config leaves the latency histogram off
+        assert_eq!(stats.latency.count, 0);
+
+        let text = stats.render_prometheus();
+        assert!(text.contains("gc_requests_total{kind=\"query\"} 3"));
+        assert!(text.contains("gc_requests_total{kind=\"update\"} 1"));
+        assert!(text.contains("gc_shard_hits_total{shard=\"0\"}"));
+        assert!(text.contains("gc_request_latency_microseconds_count 0"));
+    }
+
+    #[test]
+    fn shed_requests_advance_shard_shed_counters() {
+        let svc = service(1);
+        let _held = svc.gate.try_acquire(0).expect("first permit");
+        let rsp = svc.handle(
+            Request::Query {
+                kind: QueryKind::Subgraph,
+                deadline_ms: 0,
+                graph: triangle(0),
+            },
+            Instant::now(),
+            None,
+        );
+        assert_eq!(rsp, Response::Overloaded);
+        let rsp = svc.handle(Request::Ua { id: 0, u: 0, v: 1 }, Instant::now(), None);
+        assert_eq!(rsp, Response::Overloaded);
+        let stats = svc.stats();
+        // the fan-out query shed on every shard; the update only on slot 0
+        assert_eq!(stats.shards[0].shed, 2);
+        assert_eq!(stats.shards[1].shed, 1);
+        assert_eq!(stats.queries, 0);
+        assert_eq!(stats.updates, 0);
+        // shed never counts as a hit or a miss
+        for s in &stats.shards {
+            assert_eq!(s.hits + s.misses, 0);
+        }
     }
 
     #[test]

@@ -99,6 +99,73 @@ fn answers_match_oracle_over_loopback() {
 }
 
 #[test]
+fn stats_scrape_reconciles_with_request_ledger() {
+    let data = dataset(20, 8);
+    let mut oracle = GraphCachePlus::new(GcConfig::default(), data.clone());
+    // metrics-enabled config so the latency histogram records; the shared
+    // start_server helper uses defaults, so build this server by hand
+    let config = GcConfig {
+        metrics: true,
+        trace: true,
+        ..GcConfig::default()
+    };
+    let cache = ShardedGraphCache::new(config, data.clone(), 2);
+    let service = CacheService::new(cache, 64, QueryBudget::UNLIMITED);
+    let server = serve(service, 0, None).expect("bind loopback");
+    let mut client = CacheClient::connect(server.addr());
+
+    let mut executed = 0u64;
+    for seed in 0..5 {
+        let q = query_graph(&data, 200 + seed);
+        let reply = client.query(&q, QueryKind::Subgraph, None).expect("query");
+        assert_eq!(
+            reply.ids,
+            ids_of(&mut oracle, &q, QueryKind::Subgraph),
+            "seed {seed}"
+        );
+        executed += 1;
+    }
+    let g0 = data[0].clone();
+    let (u, v) = g0.edges().next().expect("has edges");
+    assert_eq!(client.ur(0, u, v).expect("ur"), 0);
+
+    let stats = client.stats().expect("stats scrape");
+    assert_eq!(stats.queries, executed);
+    assert_eq!(stats.updates, 1);
+    // reconciliation: every executed query classified exactly once per shard
+    for (i, s) in stats.shards.iter().enumerate() {
+        assert_eq!(s.hits + s.misses, executed, "shard {i}: {s:?}");
+        assert_eq!(s.shed, 0, "shard {i}");
+    }
+    // metrics flag on: one latency sample per executed query
+    assert_eq!(stats.latency.count, executed);
+    assert!(stats.latency.max > 0, "latency recorded in microseconds");
+    assert!(stats.latency.quantile(0.5) <= stats.latency.quantile(0.99));
+    // trace flag on: pipeline stages accumulated real time
+    assert!(
+        stats.stages.total() > 0,
+        "stage spans must accumulate: {:?}",
+        stats.stages
+    );
+
+    // health carries the same per-shard counters
+    let (health, shards) = client.health_full().expect("health");
+    assert_eq!(health.load_shed, 0);
+    assert_eq!(shards.len(), 2);
+    for (a, b) in shards.iter().zip(stats.shards.iter()) {
+        assert_eq!(a.hits, b.hits);
+        assert_eq!(a.misses, b.misses);
+    }
+
+    // the exposition text renders the same numbers
+    let text = stats.render_prometheus();
+    assert!(text.contains(&format!("gc_requests_total{{kind=\"query\"}} {executed}")));
+    assert!(text.contains("gc_requests_total{kind=\"update\"} 1"));
+    assert!(text.contains(&format!("gc_request_latency_microseconds_count {executed}")));
+    server.shutdown();
+}
+
+#[test]
 fn stalled_shard_returns_sound_partial_within_deadline() {
     let data = dataset(16, 2);
     let mut oracle = GraphCachePlus::new(GcConfig::default(), data.clone());

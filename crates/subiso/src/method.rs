@@ -34,6 +34,7 @@
 //!   the sequential scan.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
 use gc_graph::{BitSet, GraphSource, LabeledGraph};
 
@@ -82,6 +83,13 @@ pub struct MethodAnswer {
     /// Candidates whose sub-iso test panicked; the panic was contained and
     /// the candidate left undecided (also reflected in `interrupted`).
     pub panics_recovered: u64,
+    /// Nanoseconds spent in the signature pre-filter stage. Only populated
+    /// when the scan runs with [`MethodM::with_timing`]; otherwise 0 so
+    /// untimed scans stay branch-cheap and bit-comparable.
+    pub prefilter_nanos: u64,
+    /// Nanoseconds spent inside the sub-iso decision procedures (summed
+    /// across workers on a parallel scan). Only populated when timed.
+    pub verify_nanos: u64,
 }
 
 impl MethodAnswer {
@@ -102,6 +110,10 @@ pub struct MethodM {
     /// Signature pre-filter stage (on by default): decide candidates by
     /// O(1) signature domination before invoking the matcher.
     pub prefilter: bool,
+    /// Record per-stage wall time (`prefilter_nanos` / `verify_nanos` in
+    /// the answer). Off by default — two `Instant::now` calls per candidate
+    /// are cheap but not free, and the paper setting must stay untouched.
+    pub timed: bool,
 }
 
 impl MethodM {
@@ -111,6 +123,7 @@ impl MethodM {
             algorithm,
             parallelism: 1,
             prefilter: true,
+            timed: false,
         }
     }
 
@@ -120,12 +133,19 @@ impl MethodM {
             algorithm,
             parallelism: threads.max(1),
             prefilter: true,
+            timed: false,
         }
     }
 
     /// Toggles the signature pre-filter stage.
     pub fn with_prefilter(mut self, enabled: bool) -> Self {
         self.prefilter = enabled;
+        self
+    }
+
+    /// Toggles per-stage wall-time recording (see [`MethodM::timed`]).
+    pub fn with_timing(mut self, enabled: bool) -> Self {
+        self.timed = enabled;
         self
     }
 
@@ -145,8 +165,8 @@ impl MethodM {
     }
 
     /// Decides one candidate, going through the pre-filter stage first.
-    /// Returns `(contained, prefilter_skipped)`; `Err` means the budget
-    /// fired mid-test and the candidate is undecided.
+    /// `Err` means the budget fired mid-test and the candidate is
+    /// undecided. Stage nanos are recorded only when `self.timed`.
     #[inline]
     fn decide_filtered(
         &self,
@@ -154,22 +174,32 @@ impl MethodM {
         kind: QueryKind,
         dataset_graph: &LabeledGraph,
         token: &CancelToken,
-    ) -> Result<(bool, bool), Interrupt> {
+    ) -> Result<Decision, Interrupt> {
+        let mut decision = Decision::default();
         if self.prefilter {
+            let t = self.timed.then(Instant::now);
             let feasible = match kind {
                 QueryKind::Subgraph => dataset_graph.signature().dominates(query.signature()),
                 QueryKind::Supergraph => query.signature().dominates(dataset_graph.signature()),
             };
+            if let Some(t) = t {
+                decision.prefilter_nanos = t.elapsed().as_nanos() as u64;
+            }
             if !feasible {
-                return Ok((false, true));
+                decision.skipped = true;
+                return Ok(decision);
             }
         }
+        let t = self.timed.then(Instant::now);
         let m = self.algorithm.matcher();
-        let contained = match kind {
+        decision.contained = match kind {
             QueryKind::Subgraph => m.contains_budgeted(query, dataset_graph, token)?,
             QueryKind::Supergraph => m.contains_budgeted(dataset_graph, query, token)?,
         };
-        Ok((contained, false))
+        if let Some(t) = t {
+            decision.verify_nanos = t.elapsed().as_nanos() as u64;
+        }
+        Ok(decision)
     }
 
     /// Scans `candidates` (ids into `source`), running one sub-iso test per
@@ -221,17 +251,21 @@ impl MethodM {
         let mut prefilter_skips = 0u64;
         let mut interrupted = None;
         let mut panics_recovered = 0u64;
+        let mut prefilter_nanos = 0u64;
+        let mut verify_nanos = 0u64;
         for (i, verdict) in verdicts.iter().enumerate() {
             match *verdict {
                 Verdict::Missing => {}
-                Verdict::Decided { contained, skipped } => {
+                Verdict::Decided(decision) => {
                     tests += 1;
-                    if contained {
+                    if decision.contained {
                         answer.set(ids[i], true);
                     }
-                    if skipped {
+                    if decision.skipped {
                         prefilter_skips += 1;
                     }
+                    prefilter_nanos += decision.prefilter_nanos;
+                    verify_nanos += decision.verify_nanos;
                 }
                 Verdict::Interrupted(interrupt) => {
                     interrupted.get_or_insert(interrupt);
@@ -249,6 +283,8 @@ impl MethodM {
             prefilter_skips,
             interrupted,
             panics_recovered,
+            prefilter_nanos,
+            verify_nanos,
         }
     }
 
@@ -265,17 +301,21 @@ impl MethodM {
         let mut prefilter_skips = 0u64;
         let mut interrupted = None;
         let mut panics_recovered = 0u64;
+        let mut prefilter_nanos = 0u64;
+        let mut verify_nanos = 0u64;
         for id in candidates.iter_ones() {
             match self.examine(query, kind, source, id, token) {
                 Verdict::Missing => {}
-                Verdict::Decided { contained, skipped } => {
+                Verdict::Decided(decision) => {
                     tests += 1;
-                    if contained {
+                    if decision.contained {
                         answer.set(id, true);
                     }
-                    if skipped {
+                    if decision.skipped {
                         prefilter_skips += 1;
                     }
+                    prefilter_nanos += decision.prefilter_nanos;
+                    verify_nanos += decision.verify_nanos;
                 }
                 Verdict::Interrupted(interrupt) => {
                     interrupted = Some(interrupt);
@@ -296,6 +336,8 @@ impl MethodM {
             prefilter_skips,
             interrupted,
             panics_recovered,
+            prefilter_nanos,
+            verify_nanos,
         }
     }
 
@@ -311,7 +353,7 @@ impl MethodM {
         token: &CancelToken,
     ) -> Verdict {
         let step = catch_unwind(AssertUnwindSafe(
-            || -> Result<Option<(bool, bool)>, Interrupt> {
+            || -> Result<Option<Decision>, Interrupt> {
                 match source.graph(id) {
                     None => Ok(None),
                     Some(g) => {
@@ -323,11 +365,24 @@ impl MethodM {
         ));
         match step {
             Ok(Ok(None)) => Verdict::Missing,
-            Ok(Ok(Some((contained, skipped)))) => Verdict::Decided { contained, skipped },
+            Ok(Ok(Some(decision))) => Verdict::Decided(decision),
             Ok(Err(interrupt)) => Verdict::Interrupted(interrupt),
             Err(_) => Verdict::Panicked,
         }
     }
+}
+
+/// Outcome of one completed candidate decision, with optional stage timing.
+#[derive(Debug, Clone, Copy, Default)]
+struct Decision {
+    /// Did the candidate pass the sub-iso test?
+    contained: bool,
+    /// Was it decided negatively by the signature pre-filter alone?
+    skipped: bool,
+    /// Wall time in the pre-filter (0 unless the scan is timed).
+    prefilter_nanos: u64,
+    /// Wall time in the matcher (0 unless the scan is timed).
+    verify_nanos: u64,
 }
 
 /// Per-candidate outcome of one scan step.
@@ -335,7 +390,7 @@ enum Verdict {
     /// Id not present in the source (deleted graph).
     Missing,
     /// Test completed.
-    Decided { contained: bool, skipped: bool },
+    Decided(Decision),
     /// Budget fired before or during the test; candidate undecided.
     Interrupted(Interrupt),
     /// The step panicked; contained, candidate undecided.
@@ -476,6 +531,7 @@ mod tests {
                 algorithm: algo,
                 parallelism: 4,
                 prefilter: false,
+                timed: false,
             }
             .run(&query, QueryKind::Subgraph, &data, &cands);
             assert_eq!(seq_off, par_off, "algo {algo} (prefilter off)");
@@ -591,6 +647,28 @@ mod tests {
         // the faulty candidate is undecided, the rest were still scanned
         assert_eq!(r.tests, 4);
         assert_eq!(r.answer.iter_ones().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn timed_scan_records_stage_nanos_without_changing_answers() {
+        let data = dataset();
+        let query = g(vec![0, 0], &[(0, 1)]);
+        let cands = BitSet::from_indices(0..4);
+        let plain = MethodM::new(Algorithm::Vf2).run(&query, QueryKind::Subgraph, &data, &cands);
+        let timed = MethodM::new(Algorithm::Vf2).with_timing(true).run(
+            &query,
+            QueryKind::Subgraph,
+            &data,
+            &cands,
+        );
+        assert_eq!(plain.answer, timed.answer);
+        assert_eq!(plain.tests, timed.tests);
+        assert_eq!(plain.prefilter_skips, timed.prefilter_skips);
+        // untimed scans leave the nanos untouched; timed ones fill them in
+        assert_eq!(plain.prefilter_nanos, 0);
+        assert_eq!(plain.verify_nanos, 0);
+        assert!(timed.prefilter_nanos > 0, "4 candidates were pre-filtered");
+        assert!(timed.verify_nanos > 0, "3 candidates reached the matcher");
     }
 
     #[test]

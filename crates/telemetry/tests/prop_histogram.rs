@@ -1,0 +1,81 @@
+//! Property tests for the log-bucketed histogram against a sorted-vector
+//! oracle: every reported quantile must land in the same log bucket as the
+//! exact order statistic, merging must be exactly associative with
+//! recording, and the exact max must always survive.
+
+use gc_telemetry::{bucket_index, Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// The exact order statistic the histogram's `quantile(q)` approximates:
+/// the smallest value whose rank covers `ceil(q * n)`.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+proptest! {
+    #[test]
+    fn quantiles_match_sorted_vector_oracle_at_bucket_resolution(
+        values in prop::collection::vec(0u64..5_000_000, 1..400),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(snap.max, *sorted.last().unwrap());
+
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let got = snap.quantile(q);
+            let exact = oracle_quantile(&sorted, q);
+            // log-bucket resolution: the reported value must sit in the
+            // same bucket as the exact order statistic, and never exceed
+            // the true maximum
+            prop_assert_eq!(
+                bucket_index(got),
+                bucket_index(exact),
+                "q={} got={} exact={}",
+                q,
+                got,
+                exact
+            );
+            prop_assert!(got <= snap.max);
+        }
+        // the top quantile is exact, not bucket-rounded
+        prop_assert_eq!(snap.quantile(1.0), *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn arbitrary_splits_merge_to_the_same_snapshot(
+        values in prop::collection::vec(0u64..1_000_000_000, 0..200),
+        split in 0usize..200,
+    ) {
+        let cut = split.min(values.len());
+        let (left, right) = values.split_at(cut);
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let whole = Histogram::new();
+        for &v in left {
+            a.record(v);
+        }
+        for &v in right {
+            b.record(v);
+        }
+        for &v in &values {
+            whole.record(v);
+        }
+        let mut folded = a.snapshot();
+        folded.merge(&b.snapshot());
+        prop_assert_eq!(folded, whole.snapshot());
+        // merging an empty snapshot is the identity
+        folded.merge(&HistogramSnapshot::default());
+        prop_assert_eq!(folded, whole.snapshot());
+    }
+}
