@@ -21,6 +21,11 @@
 //!                against a fault-free oracle; writes CHAOS_report.json
 //!                and exits non-zero on silent divergence, deadline
 //!                overrun > 2x, or leftover quarantined entries; with
+//!                --index-diff, replays the same pinned fault plan
+//!                against BOTH candidate sources (postings-index default
+//!                vs paper full scan) side by side, writes
+//!                CHAOS_indexdiff.json and exits non-zero on any answer
+//!                or audit divergence between the two; with
 //!                --net, drives the real loopback TCP server instead: a
 //!                Zipf storm of concurrent clients under dropped
 //!                connections, delayed frames, a stalled shard and a
@@ -42,7 +47,7 @@ use gc_telemetry::{HistogramSnapshot, StageSpans};
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <fig4-typea|fig4-typeb|fig5|fig6|insights|dataset|ablation|bench-subiso|chaos|all> \
-         [--scale small|medium|paper] [--quick] [--net] [--out PATH]"
+         [--scale small|medium|paper] [--quick] [--net] [--index-diff] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -72,11 +77,8 @@ fn main() {
     let mut scale = Scale::medium();
     let mut quick = false;
     let mut net = false;
-    let mut out_path = String::from(if command == "chaos" {
-        "CHAOS_report.json"
-    } else {
-        "BENCH_subiso.json"
-    });
+    let mut index_diff = false;
+    let mut out_path: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -90,9 +92,10 @@ fn main() {
             }
             "--quick" => quick = true,
             "--net" => net = true,
+            "--index-diff" => index_diff = true,
             "--out" => {
                 i += 1;
-                out_path = args.get(i).unwrap_or_else(|| usage()).clone();
+                out_path = Some(args.get(i).unwrap_or_else(|| usage()).clone());
             }
             other => {
                 eprintln!("unknown argument '{other}'");
@@ -101,6 +104,13 @@ fn main() {
         }
         i += 1;
     }
+    let out_path = out_path.unwrap_or_else(|| {
+        String::from(match (command.as_str(), index_diff) {
+            ("chaos", true) => "CHAOS_indexdiff.json",
+            ("chaos", false) => "CHAOS_report.json",
+            _ => "BENCH_subiso.json",
+        })
+    });
 
     if command == "bench-subiso" {
         bench_subiso(quick, &out_path);
@@ -109,6 +119,8 @@ fn main() {
     if command == "chaos" {
         if net {
             net_chaos(scale, &out_path);
+        } else if index_diff {
+            index_diff_chaos(scale, &out_path);
         } else {
             chaos(scale, &out_path);
         }
@@ -161,10 +173,11 @@ fn bench_subiso(quick: bool, out_path: &str) {
     );
     let result = gc_bench::run_subiso_bench(quick, threads);
     let mut t = Table::new(
-        "Candidate-scan microbench: legacy (pre-CSR) vs CSR hot path",
+        "Candidate-scan microbench: legacy (pre-CSR) vs CSR vs postings index",
         &[
             "configuration",
             "total s",
+            "candidates",
             "tests",
             "prefilter skips",
             "speedup vs legacy",
@@ -175,6 +188,7 @@ fn bench_subiso(quick: bool, out_path: &str) {
         t.row(vec![
             m.config.to_string(),
             format!("{:.4}", m.total_secs),
+            m.candidates.to_string(),
             m.tests.to_string(),
             m.prefilter_skips.to_string(),
             spx(legacy_secs / m.total_secs.max(1e-12)),
@@ -182,8 +196,9 @@ fn bench_subiso(quick: bool, out_path: &str) {
     }
     println!("{}", t.render());
     println!(
-        "headline: serial {:.2}x, best {:.2}x over the pre-CSR serial scan",
-        result.speedup_serial, result.speedup_best
+        "headline: serial {:.2}x, best {:.2}x over the pre-CSR serial scan; \
+         postings index {:.2}x vs the prefiltered CSR scan",
+        result.speedup_serial, result.speedup_best, result.speedup_index_vs_prefilter
     );
     if let Err(e) = std::fs::write(out_path, result.to_json()) {
         eprintln!("cannot write bench artifact '{out_path}': {e}");
@@ -282,6 +297,85 @@ fn chaos(scale: Scale, out_path: &str) {
     if !report.passed() {
         eprintln!(
             "chaos suite FAILED: silent divergence, deadline overrun, or leftover quarantine"
+        );
+        std::process::exit(1);
+    }
+}
+
+fn index_diff_chaos(scale: Scale, out_path: &str) {
+    let mut cfg = gc_bench::ChaosConfig::new(scale);
+    match gc_core::FaultPlan::from_env() {
+        Ok(Some(plan)) => cfg.fault_plan = plan,
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("invalid GC_FAULT_PLAN: {e}");
+            std::process::exit(2);
+        }
+    }
+    println!(
+        "# Candidate-source differential chaos — {} graphs, {} queries/workload\n\
+         postings-index default vs paper full scan, both under fault plan: {}\n",
+        cfg.scale.dataset_graphs, cfg.scale.num_queries, cfg.fault_plan
+    );
+    let t0 = Instant::now();
+    let report = gc_bench::run_index_diff(&cfg);
+    let mut t = Table::new(
+        "Index-diff verdicts: index-backed vs scan-backed under identical faults",
+        &[
+            "workload",
+            "queries",
+            "updates",
+            "exact",
+            "degraded",
+            "divergent",
+            "audit diverg.",
+            "cand. index",
+            "cand. scan",
+            "panics idx/scan",
+            "verdict",
+        ],
+    );
+    for c in &report.cells {
+        t.row(vec![
+            c.workload.clone(),
+            c.queries.to_string(),
+            c.updates.to_string(),
+            c.exact.to_string(),
+            c.degraded.to_string(),
+            c.divergent.to_string(),
+            c.audit_divergent.to_string(),
+            c.index_candidates.to_string(),
+            c.scan_candidates.to_string(),
+            format!("{}/{}", c.panics_indexed, c.panics_scanned),
+            if c.passed() { "ok" } else { "FAIL" }.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    let (idx, scan): (u64, u64) = report.cells.iter().fold((0, 0), |(a, b), c| {
+        (a + c.index_candidates, b + c.scan_candidates)
+    });
+    println!(
+        "candidate work: index-backed examined {} candidates vs {} for the full scan \
+         ({:.1}% of CS_M pruned before any sub-iso test)",
+        idx,
+        scan,
+        if scan > 0 {
+            (scan - scan.min(idx)) as f64 / scan as f64 * 100.0
+        } else {
+            0.0
+        }
+    );
+    println!("wall time: {:.1}s", t0.elapsed().as_secs_f64());
+    if let Err(e) = std::fs::write(out_path, report.to_json()) {
+        eprintln!("cannot write index-diff artifact '{out_path}': {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+    if !report.passed() {
+        eprintln!(
+            "index-diff FAILED: answer or audit divergence between the candidate sources, \
+             an index that grew CS_M, mismatched panic containment, leftover quarantine, \
+             or a rebuilt (non-incremental) index"
         );
         std::process::exit(1);
     }

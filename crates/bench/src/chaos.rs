@@ -23,7 +23,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gc_core::{
-    AuditReport, FaultInjector, FaultPlan, GcConfig, GraphCachePlus, HealthSnapshot, QueryBudget,
+    AuditReport, CandidateSource, FaultInjector, FaultPlan, GcConfig, GraphCachePlus,
+    HealthSnapshot, QueryBudget,
 };
 use gc_dataset::{ChangeOp, ChangePlan, GraphStore, OpType};
 use gc_graph::LabeledGraph;
@@ -302,6 +303,303 @@ pub fn run_chaos_cell(
     cell
 }
 
+/// Per-workload verdict of one candidate-source differential replay: the
+/// same fault plan fired against the postings-index-backed pipeline (the
+/// default [`CandidateSource::LabelIndex`]) and the paper's full-scan
+/// pipeline, side by side on identical query/change streams.
+#[derive(Debug, Clone)]
+pub struct IndexDiffCell {
+    /// Workload name (ZZ / ZU / UU / 0% / 20% / 50%).
+    pub workload: String,
+    /// Queries replayed through both pipelines.
+    pub queries: usize,
+    /// Dataset updates applied to both instances.
+    pub updates: usize,
+    /// Queries where both sides returned the identical undegraded answer.
+    pub exact: usize,
+    /// Queries where at least one side returned an explicitly degraded
+    /// (sound partial) outcome.
+    pub degraded: usize,
+    /// Answer divergence between the two candidate sources: undegraded
+    /// mismatches, or a degraded partial that was not a subset of the
+    /// other side's exact answer. Must be zero.
+    pub divergent: usize,
+    /// Auditor passes compared (one per update burst plus the final
+    /// sweep).
+    pub audit_passes: usize,
+    /// Audit passes whose verdicts (sampled/clean/repaired/evicted)
+    /// differed between the two pipelines. Must be zero.
+    pub audit_divergent: usize,
+    /// Auditor activity summed over the index-backed instance's passes.
+    pub audit_total: AuditReport,
+    /// Queries where the index produced *more* candidates than the scan
+    /// (the index may only shrink CS_M; compared when neither side
+    /// degraded). Must be zero.
+    pub candidate_violations: usize,
+    /// Candidates examined by the index-backed pipeline, summed.
+    pub index_candidates: u64,
+    /// Candidates examined by the scan-backed pipeline, summed.
+    pub scan_candidates: u64,
+    /// Panics contained by the index-backed instance.
+    pub panics_indexed: u64,
+    /// Panics contained by the scan-backed instance (must equal the
+    /// index-backed count — the plan fires at the same stream points).
+    pub panics_scanned: u64,
+    /// Entries left quarantined after the final audit, per side. Both
+    /// must be zero.
+    pub quarantined_indexed: usize,
+    /// See [`IndexDiffCell::quarantined_indexed`].
+    pub quarantined_scanned: usize,
+    /// Did the index absorb every logged change incrementally (replay
+    /// count equals the change-log length — i.e. no rebuild happened)?
+    pub index_replay_ok: bool,
+}
+
+impl IndexDiffCell {
+    /// Did the two candidate sources stay observationally equivalent?
+    pub fn passed(&self) -> bool {
+        self.divergent == 0
+            && self.audit_divergent == 0
+            && self.candidate_violations == 0
+            && self.panics_indexed == self.panics_scanned
+            && self.quarantined_indexed == 0
+            && self.quarantined_scanned == 0
+            && self.index_replay_ok
+    }
+}
+
+/// Aggregated result of one [`run_index_diff`] invocation.
+#[derive(Debug, Clone)]
+pub struct IndexDiffReport {
+    /// The injected plan, in its compact string form.
+    pub fault_plan: String,
+    /// The per-query deadline, milliseconds.
+    pub deadline_ms: u64,
+    /// One verdict per workload.
+    pub cells: Vec<IndexDiffCell>,
+}
+
+impl IndexDiffReport {
+    /// `true` iff every workload stayed divergence-free.
+    pub fn passed(&self) -> bool {
+        self.cells.iter().all(IndexDiffCell::passed)
+    }
+
+    /// Hand-rolled JSON (the artifact uploaded by CI's chaos smoke job).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"fault_plan\": \"{}\",\n", self.fault_plan));
+        out.push_str(&format!("  \"deadline_ms\": {},\n", self.deadline_ms));
+        out.push_str(&format!("  \"passed\": {},\n", self.passed()));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"queries\": {}, \"updates\": {}, \
+                 \"exact\": {}, \"degraded\": {}, \"divergent\": {}, \
+                 \"audit_passes\": {}, \"audit_divergent\": {}, \
+                 \"audit_repaired\": {}, \"candidate_violations\": {}, \
+                 \"index_candidates\": {}, \"scan_candidates\": {}, \
+                 \"panics_indexed\": {}, \"panics_scanned\": {}, \
+                 \"quarantined_indexed\": {}, \"quarantined_scanned\": {}, \
+                 \"index_replay_ok\": {}}}{}\n",
+                c.workload,
+                c.queries,
+                c.updates,
+                c.exact,
+                c.degraded,
+                c.divergent,
+                c.audit_passes,
+                c.audit_divergent,
+                c.audit_total.repaired,
+                c.candidate_violations,
+                c.index_candidates,
+                c.scan_candidates,
+                c.panics_indexed,
+                c.panics_scanned,
+                c.quarantined_indexed,
+                c.quarantined_scanned,
+                c.index_replay_ok,
+                if i + 1 == self.cells.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Runs the candidate-source differential chaos suite: all six paper
+/// workloads, each replayed under the configured fault plan against
+/// **both** candidate sources, failing on any answer or audit divergence.
+pub fn run_index_diff(cfg: &ChaosConfig) -> IndexDiffReport {
+    let dataset = build_dataset(&cfg.scale);
+    let plan = build_plan(&cfg.scale);
+    let mut workloads = build_type_a_workloads(&dataset, &cfg.scale);
+    workloads.extend(build_type_b_workloads(&dataset, &cfg.scale));
+    let cells = with_quiet_panics(|| {
+        workloads
+            .iter()
+            .map(|w| run_index_diff_cell(&dataset, w, &plan, cfg))
+            .collect()
+    });
+    IndexDiffReport {
+        fault_plan: cfg.fault_plan.to_string(),
+        deadline_ms: cfg.deadline.as_millis() as u64,
+        cells,
+    }
+}
+
+/// Replays one workload under the fault plan on an index-backed and a
+/// scan-backed instance simultaneously, comparing every answer and every
+/// audit verdict between the two.
+pub fn run_index_diff_cell(
+    dataset: &[LabeledGraph],
+    workload: &Workload,
+    plan: &ChangePlan,
+    cfg: &ChaosConfig,
+) -> IndexDiffCell {
+    // Sized so nothing is ever evicted: replacement ranks entries by
+    // benefit (tests alleviated — and even LRU recency is refreshed by
+    // benefit attribution), a quantity the candidate source legitimately
+    // changes, so under eviction pressure the two caches would diverge in
+    // *composition* (never in answers) and void the audit-verdict
+    // comparison. Eviction-free, composition is a function of the shared
+    // query/answer stream alone and audit equality is a real invariant.
+    let base = GcConfig {
+        cache_capacity: workload.len() + 16,
+        window_capacity: 8,
+        budget: QueryBudget {
+            deadline: Some(cfg.deadline),
+            max_tests: None,
+        },
+        ..GcConfig::default()
+    };
+    let mut indexed = GraphCachePlus::new(
+        GcConfig {
+            candidate_source: CandidateSource::LabelIndex,
+            ..base
+        },
+        dataset.to_vec(),
+    );
+    let mut scanned = GraphCachePlus::new(
+        GcConfig {
+            candidate_source: CandidateSource::LiveScan,
+            ..base
+        },
+        dataset.to_vec(),
+    );
+    indexed.set_fault_injector(Arc::new(FaultInjector::new(cfg.fault_plan.clone())));
+    scanned.set_fault_injector(Arc::new(FaultInjector::new(cfg.fault_plan.clone())));
+
+    // The same concrete operations hit both instances, materialized once
+    // against the (identical) index-backed store state.
+    let mut rng = StdRng::seed_from_u64(cfg.scale.seed ^ 0x1DD1_F0AD);
+    let mut next_batch = 0usize;
+
+    let mut cell = IndexDiffCell {
+        workload: workload.name.clone(),
+        queries: workload.len(),
+        updates: 0,
+        exact: 0,
+        degraded: 0,
+        divergent: 0,
+        audit_passes: 0,
+        audit_divergent: 0,
+        audit_total: AuditReport::default(),
+        candidate_violations: 0,
+        index_candidates: 0,
+        scan_candidates: 0,
+        panics_indexed: 0,
+        panics_scanned: 0,
+        quarantined_indexed: 0,
+        quarantined_scanned: 0,
+        index_replay_ok: false,
+    };
+
+    let compare_audits = |cell: &mut IndexDiffCell,
+                          indexed: &mut GraphCachePlus,
+                          scanned: &mut GraphCachePlus,
+                          seed: u64| {
+        cell.audit_passes += 1;
+        let ra = indexed.audit(cfg.audit_rate, seed);
+        let rb = scanned.audit(cfg.audit_rate, seed);
+        if ra.sampled != rb.sampled
+            || ra.clean != rb.clean
+            || ra.repaired != rb.repaired
+            || ra.evicted != rb.evicted
+        {
+            cell.audit_divergent += 1;
+        }
+        add_audit(&mut cell.audit_total, ra);
+    };
+
+    for (i, q) in workload.queries.iter().enumerate() {
+        let mut burst = 0usize;
+        while next_batch < plan.batches.len() && plan.batches[next_batch].at_query <= i {
+            for planned in &plan.batches[next_batch].ops {
+                if let Some(op) = materialize_op(&mut rng, indexed.store(), dataset, planned.op) {
+                    let a = indexed.apply_isolated(op.clone());
+                    let b = scanned.apply_isolated(op);
+                    debug_assert_eq!(a.is_ok(), b.is_ok(), "materialized op valid on both");
+                    burst += 1;
+                }
+            }
+            next_batch += 1;
+        }
+        if burst > 0 {
+            cell.updates += burst;
+            // audit both sides with the same rate and seed right after the
+            // burst: injected corruption must be found (and repaired) by
+            // both pipelines identically
+            compare_audits(
+                &mut cell,
+                &mut indexed,
+                &mut scanned,
+                cfg.scale.seed + i as u64,
+            );
+        }
+
+        let a = indexed.execute_isolated(q, workload.kind);
+        let b = scanned.execute_isolated(q, workload.kind);
+        cell.index_candidates += a.metrics.candidate_size;
+        cell.scan_candidates += b.metrics.candidate_size;
+        match (a.metrics.degraded.is_some(), b.metrics.degraded.is_some()) {
+            (false, false) => {
+                if a.answer == b.answer {
+                    cell.exact += 1;
+                } else {
+                    cell.divergent += 1;
+                }
+                if a.metrics.candidate_size > b.metrics.candidate_size {
+                    cell.candidate_violations += 1;
+                }
+            }
+            (da, db) => {
+                // a degraded partial may miss answers but must never
+                // invent one the other (exact) side does not have
+                let sound_a = !da || db || a.answer.is_subset_of(&b.answer);
+                let sound_b = !db || da || b.answer.is_subset_of(&a.answer);
+                if sound_a && sound_b {
+                    cell.degraded += 1;
+                } else {
+                    cell.divergent += 1;
+                }
+            }
+        }
+    }
+
+    // final sweep: late corruption must drain from both sides identically
+    compare_audits(&mut cell, &mut indexed, &mut scanned, cfg.scale.seed);
+    cell.quarantined_indexed = indexed.quarantined_entries();
+    cell.quarantined_scanned = scanned.quarantined_entries();
+    cell.panics_indexed = indexed.health_snapshot().panics_recovered;
+    cell.panics_scanned = scanned.health_snapshot().panics_recovered;
+    cell.index_replay_ok = indexed
+        .label_index()
+        .is_some_and(|idx| idx.records_replayed() == indexed.log_len() as u64);
+    cell
+}
+
 /// Stage-span totals as a compact JSON object (`{"prefilter": ns, ...}`).
 pub(crate) fn spans_json(spans: &StageSpans) -> String {
     let fields: Vec<String> = spans
@@ -458,6 +756,41 @@ mod tests {
         // the auditor actually repaired the injected corruption
         let repaired: usize = report.cells.iter().map(|c| c.audit_total.repaired).sum();
         assert!(repaired > 0, "injected corruption was never caught");
+    }
+
+    #[test]
+    fn index_diff_suite_passes_under_builtin_faults() {
+        let cfg = tiny_chaos_config();
+        let report = run_index_diff(&cfg);
+        assert_eq!(report.cells.len(), 6, "three Type A + three Type B");
+        for c in &report.cells {
+            assert_eq!(c.divergent, 0, "answer divergence in {}", c.workload);
+            assert_eq!(c.audit_divergent, 0, "audit divergence in {}", c.workload);
+            assert_eq!(
+                c.candidate_violations, 0,
+                "index grew CS_M in {}",
+                c.workload
+            );
+            assert_eq!(c.panics_indexed, c.panics_scanned, "{}", c.workload);
+            assert!(c.index_replay_ok, "index rebuilt in {}", c.workload);
+            assert_eq!(c.queries, 60);
+            assert!(
+                c.index_candidates <= c.scan_candidates,
+                "index examined more candidates overall in {}",
+                c.workload
+            );
+        }
+        assert!(report.passed());
+        // the plan's panics actually fired on both sides of the diff
+        let panics: u64 = report.cells.iter().map(|c| c.panics_indexed).sum();
+        assert!(panics > 0, "fault plan injected no panics");
+        // the injected corruption was caught (identically, per cell above)
+        let repaired: usize = report.cells.iter().map(|c| c.audit_total.repaired).sum();
+        assert!(repaired > 0, "injected corruption was never caught");
+        let json = report.to_json();
+        assert!(json.contains("\"passed\": true"));
+        assert!(json.contains("\"audit_divergent\": 0"));
+        assert!(!json.contains(",\n  ]"), "no trailing comma");
     }
 
     #[test]

@@ -23,14 +23,16 @@ pub mod netchaos;
 pub mod report;
 pub mod subiso_bench;
 
-use gc_core::{baseline_execute, CacheModel, GcConfig, GraphCachePlus};
+use gc_core::{baseline_execute, CacheModel, CandidateSource, GcConfig, GraphCachePlus};
 use gc_dataset::aids::{synthetic_aids, AidsConfig};
 use gc_dataset::{ChangePlan, ChangePlanConfig, PlanExecutor};
 use gc_graph::LabeledGraph;
 use gc_subiso::{Algorithm, MethodM};
 use gc_workload::{generate_type_a, generate_type_b, TypeAConfig, TypeBConfig, Workload};
 
-pub use chaos::{run_chaos, ChaosCell, ChaosConfig, ChaosReport};
+pub use chaos::{
+    run_chaos, run_index_diff, ChaosCell, ChaosConfig, ChaosReport, IndexDiffCell, IndexDiffReport,
+};
 pub use netchaos::{run_net_chaos, NetChaosConfig, NetChaosReport, StormTally};
 pub use report::Table;
 pub use subiso_bench::{run_subiso_bench, SubisoBenchResult};
@@ -499,7 +501,8 @@ pub fn run_ftv_ablation(
         avg_query_ms: base.avg_query_ms,
     });
 
-    // cache-less FTV filter
+    // cache-less postings index: built once, maintained incrementally
+    // across the whole churning run (never rebuilt per query or per run)
     {
         let mut store = gc_dataset::GraphStore::from_graphs(dataset.to_vec());
         let mut log = gc_dataset::ChangeLog::new();
@@ -518,6 +521,10 @@ pub fn run_ftv_ablation(
             );
             agg.record(&out.metrics);
         }
+        assert!(
+            log.is_empty() || index.records_replayed() == log.len() as u64,
+            "the shared index must absorb churn incrementally, not by rebuild"
+        );
         rows.push(FtvRow {
             config: "FTV filter (no cache)",
             avg_tests: agg.avg_tests(),
@@ -526,13 +533,13 @@ pub fn run_ftv_ablation(
     }
 
     // GC+ over each candidate source
-    for (name, use_ftv_filter) in [
-        ("GC+/CON (full scan)", false),
-        ("GC+/CON (FTV filter)", true),
+    for (name, source) in [
+        ("GC+/CON (full scan)", CandidateSource::LiveScan),
+        ("GC+/CON (FTV filter)", CandidateSource::LabelIndex),
     ] {
         let config = GcConfig {
             method,
-            use_ftv_filter,
+            candidate_source: source,
             ..GcConfig::default()
         };
         let mut gc = GraphCachePlus::new(config, dataset.to_vec());
@@ -540,6 +547,13 @@ pub fn run_ftv_ablation(
         for (i, q) in workload.queries.iter().enumerate() {
             gc.with_dataset(|store, log| exec.apply_due(i, store, log));
             gc.execute(q, workload.kind);
+        }
+        if source == CandidateSource::LabelIndex {
+            let idx = gc.label_index().expect("index-backed config");
+            assert!(
+                gc.log_len() == 0 || idx.records_replayed() > 0,
+                "GC+'s index must be maintained by log replay under churn"
+            );
         }
         let agg = gc.aggregate_metrics();
         rows.push(FtvRow {

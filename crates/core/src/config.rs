@@ -90,6 +90,37 @@ impl std::fmt::Display for Policy {
     }
 }
 
+/// Where the candidate set `CS_M` handed to Method M comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CandidateSource {
+    /// The updatable postings-bitset index ([`gc_dataset::LabelIndex`]):
+    /// per-label candidate bitsets intersected across the query's label
+    /// multiset, with the signature pre-filter folded in so one pass
+    /// yields the final candidate set. Maintained incrementally under
+    /// ADD/DEL/UA/UR — never rebuilt on the update path. The default.
+    LabelIndex,
+    /// The whole live dataset, scanned per query with Method M's
+    /// per-candidate signature pre-filter — the paper's SI-method
+    /// setting, kept for comparable timings and as the audit witness.
+    LiveScan,
+}
+
+impl CandidateSource {
+    /// Display name used in experiment tables and env parsing.
+    pub fn name(self) -> &'static str {
+        match self {
+            CandidateSource::LabelIndex => "index",
+            CandidateSource::LiveScan => "scan",
+        }
+    }
+}
+
+impl std::fmt::Display for CandidateSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Full GC+ configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct GcConfig {
@@ -106,11 +137,11 @@ pub struct GcConfig {
     /// SI algorithm used *internally* to discover subgraph/supergraph
     /// relations between the incoming query and cached queries.
     pub internal_matcher: Algorithm,
-    /// When set, `CS_M` comes from the updatable label/size FTV filter
-    /// ([`gc_dataset::LabelIndex`]) instead of the whole live dataset —
-    /// the paper's "GC+ over an FTV method" deployment. Off by default
-    /// (the paper's SI-method setting).
-    pub use_ftv_filter: bool,
+    /// Where `CS_M` comes from: the postings-bitset label index (the
+    /// default since the index graduated from ablation arm to
+    /// architecture) or a full live-dataset scan (the paper-faithful
+    /// setting, kept by [`GcConfig::paper`]).
+    pub candidate_source: CandidateSource,
     /// Worker threads for probing cached queries during hit discovery
     /// (`1` = sequential). The probe results are merged in entry order, so
     /// hit lists and metrics are identical at any setting; worth raising
@@ -150,7 +181,7 @@ impl Default for GcConfig {
             policy: Policy::Hybrid,
             method: MethodM::parallel(Algorithm::Vf2, default_parallelism()),
             internal_matcher: Algorithm::Vf2Plus,
-            use_ftv_filter: false,
+            candidate_source: CandidateSource::LabelIndex,
             probe_parallelism: default_parallelism(),
             budget: QueryBudget::UNLIMITED,
             shards: 1,
@@ -164,14 +195,16 @@ impl Default for GcConfig {
 
 impl GcConfig {
     /// Paper defaults with the given Method M algorithm and model. Unlike
-    /// [`GcConfig::default`], this pins every scan to a single thread —
-    /// the paper's measurement setting, kept sequential so experiment
-    /// timings stay comparable across machines.
+    /// [`GcConfig::default`], this pins every scan to a single thread and
+    /// keeps `CS_M` as the paper-faithful full live-dataset scan — the
+    /// paper's measurement setting, so experiment timings stay comparable
+    /// across machines and against the published tables.
     pub fn paper(method: Algorithm, model: CacheModel) -> Self {
         GcConfig {
             model,
             method: MethodM::new(method),
             probe_parallelism: 1,
+            candidate_source: CandidateSource::LiveScan,
             ..GcConfig::default()
         }
     }
@@ -186,6 +219,7 @@ impl GcConfig {
     /// | `GC_RETRY_MAX`    | `retry_max`    | `0` = never retry              |
     /// | `GC_METRICS`      | `metrics`      | `1`/`true` or `0`/`false`      |
     /// | `GC_TRACE`        | `trace`        | `1`/`true` or `0`/`false`      |
+    /// | `GC_CANDIDATE_SOURCE` | `candidate_source` | `index` or `scan`  |
     ///
     /// Unset variables keep their defaults; set-but-malformed values are a
     /// deployment bug and return an error naming the offending variable.
@@ -228,6 +262,13 @@ impl GcConfig {
         if let Some(raw) = get("GC_TRACE") {
             cfg.trace = parse_flag("GC_TRACE", &raw)?;
         }
+        if let Some(raw) = get("GC_CANDIDATE_SOURCE") {
+            cfg.candidate_source = match raw.trim() {
+                "index" => CandidateSource::LabelIndex,
+                "scan" => CandidateSource::LiveScan,
+                _ => return Err(format!("GC_CANDIDATE_SOURCE: invalid value '{raw}'")),
+            };
+        }
         Ok(cfg)
     }
 }
@@ -245,6 +286,11 @@ mod tests {
         assert_eq!(c.policy, Policy::Hybrid);
         assert!(c.budget.is_unlimited(), "no deadline unless asked for");
         assert!(c.method.prefilter, "Method M pre-filter defaults on");
+        assert_eq!(
+            c.candidate_source,
+            CandidateSource::LabelIndex,
+            "the postings index is the standing candidate source"
+        );
     }
 
     #[test]
@@ -367,5 +413,25 @@ mod tests {
         assert_eq!(c.method.algorithm, Algorithm::GraphQl);
         assert_eq!(c.model, CacheModel::Evi);
         assert_eq!(c.cache_capacity, 100);
+        assert_eq!(
+            c.candidate_source,
+            CandidateSource::LiveScan,
+            "paper timings use the paper's full scan"
+        );
+    }
+
+    #[test]
+    fn env_candidate_source_parses_and_rejects_garbage() {
+        let c = GcConfig::from_env_with(|k| (k == "GC_CANDIDATE_SOURCE").then(|| "scan".into()))
+            .unwrap();
+        assert_eq!(c.candidate_source, CandidateSource::LiveScan);
+        let c = GcConfig::from_env_with(|k| (k == "GC_CANDIDATE_SOURCE").then(|| "index".into()))
+            .unwrap();
+        assert_eq!(c.candidate_source, CandidateSource::LabelIndex);
+        let err = GcConfig::from_env_with(|k| (k == "GC_CANDIDATE_SOURCE").then(|| "csr".into()))
+            .unwrap_err();
+        assert!(err.contains("GC_CANDIDATE_SOURCE"), "{err}");
+        assert_eq!(CandidateSource::LabelIndex.to_string(), "index");
+        assert_eq!(CandidateSource::LiveScan.to_string(), "scan");
     }
 }

@@ -57,7 +57,7 @@ pub mod validator;
 pub mod window;
 
 pub use concurrent::ConcurrentGraphCache;
-pub use config::{CacheModel, GcConfig, Policy};
+pub use config::{CacheModel, CandidateSource, GcConfig, Policy};
 pub use fault::{
     Fault, FaultInjector, FaultPlan, HealthSnapshot, QueryBudget, RequestDirective, RuntimeHealth,
 };

@@ -50,9 +50,13 @@ pub fn baseline_execute(
     }
 }
 
-/// Runs an FTV-style baseline (no cache): the updatable label/size filter
-/// produces `CS_M`, then Method M verifies it. The index is synced from
-/// the log first, so callers can share one index across a churning run.
+/// Runs an FTV-style baseline (no cache): the postings-bitset index
+/// produces `CS_M`, then Method M verifies it with its own per-candidate
+/// pre-filter off — the index already applied the full signature check
+/// (the folded pre-filter), so verification is a single pass. The index
+/// is synced from the log first and must be built **once** per run and
+/// shared across a churning workload; rebuilding it per query throws away
+/// the incremental maintenance this architecture exists for.
 pub fn ftv_baseline_execute(
     store: &GraphStore,
     log: &gc_dataset::ChangeLog,
@@ -68,7 +72,7 @@ pub fn ftv_baseline_execute(
         QueryKind::Supergraph => index.supergraph_candidates(query),
     };
     let candidate_size = csm.count_ones() as u64;
-    let result = method.run(query, kind, store, &csm);
+    let result = method.with_prefilter(false).run(query, kind, store, &csm);
     let query_time = started.elapsed();
     QueryOutcome {
         answer: result.answer,

@@ -55,7 +55,7 @@ use gc_subiso::{Interrupt, QueryKind};
 use gc_telemetry::{Stage, StageSpans};
 
 use crate::cache::CacheManager;
-use crate::config::{CacheModel, GcConfig};
+use crate::config::{CacheModel, CandidateSource, GcConfig};
 use crate::entry::CachedQuery;
 use crate::fault::{FaultInjector, HealthSnapshot, QueryBudget, RuntimeHealth};
 use crate::metrics::{AggregateMetrics, HitBreakdown, QueryMetrics};
@@ -89,10 +89,12 @@ pub struct GraphCachePlus {
     window: Window,
     clock: u64,
     aggregate: AggregateMetrics,
-    /// FTV filter index; present iff `config.use_ftv_filter`. Lazily
-    /// synced from the change log at each query, so external bulk
-    /// mutations via [`with_dataset`](Self::with_dataset) are picked up.
-    ftv_index: Option<gc_dataset::LabelIndex>,
+    /// Postings-bitset candidate index; present iff `config.candidate_source`
+    /// is [`CandidateSource::LabelIndex`]. Built once at construction and
+    /// incrementally synced from the change log at each query — never
+    /// rebuilt on the update path — so external bulk mutations via
+    /// [`with_dataset`](Self::with_dataset) are picked up by log replay.
+    label_index: Option<gc_dataset::LabelIndex>,
     /// Shared fault-tolerance counters.
     health: Arc<RuntimeHealth>,
     /// Deterministic fault injection, when enabled (tests / chaos driver).
@@ -107,8 +109,7 @@ impl GraphCachePlus {
     pub fn new(config: GcConfig, initial: Vec<LabeledGraph>) -> Self {
         let store = GraphStore::from_graphs(initial);
         let log = ChangeLog::new();
-        let ftv_index = config
-            .use_ftv_filter
+        let label_index = (config.candidate_source == CandidateSource::LabelIndex)
             .then(|| gc_dataset::LabelIndex::build(&store, &log));
         GraphCachePlus {
             cache: CacheManager::new(config.cache_capacity, config.policy),
@@ -119,7 +120,7 @@ impl GraphCachePlus {
             store,
             clock: 0,
             aggregate: AggregateMetrics::default(),
-            ftv_index,
+            label_index,
             health: Arc::new(RuntimeHealth::default()),
             injector: None,
             stage_totals: StageSpans::default(),
@@ -129,6 +130,14 @@ impl GraphCachePlus {
     /// The configuration in force.
     pub fn config(&self) -> &GcConfig {
         &self.config
+    }
+
+    /// The postings-bitset candidate index, when it is the configured
+    /// candidate source. Exposed so harnesses can assert the incremental
+    /// maintenance path (via [`gc_dataset::LabelIndex::records_replayed`])
+    /// and structural convergence.
+    pub fn label_index(&self) -> Option<&gc_dataset::LabelIndex> {
+        self.label_index.as_ref()
     }
 
     /// Read access to the dataset.
@@ -225,6 +234,11 @@ impl GraphCachePlus {
     /// by the caller (PlanExecutor does), or the cache will not see it.
     pub fn with_dataset<R>(&mut self, f: impl FnOnce(&mut GraphStore, &mut ChangeLog) -> R) -> R {
         f(&mut self.store, &mut self.log)
+    }
+
+    /// Number of change-log records accumulated so far.
+    pub fn log_len(&self) -> usize {
+        self.log.len()
     }
 
     /// Cache + window occupancy `(cache, window)`.
@@ -324,25 +338,34 @@ impl GraphCachePlus {
 
         // ---- steps 2-4: query execution (query time) ----
         let t_query = Instant::now();
-        // CS_M: the whole live dataset (SI-method deployment) or the FTV
-        // filter's output (both are sound supersets of the answer set;
-        // the pruner's optimal-case checks stay correct against either —
-        // graphs outside a sound filter can never be answers).
-        let csm = match self.ftv_index.as_mut() {
+        let trace = self.config.trace;
+        let mut spans = StageSpans::default();
+        // CS_M: the postings index's output (the default) or the whole
+        // live dataset (the paper's SI-method deployment). Both are sound
+        // supersets of the answer set; the pruner's optimal-case checks
+        // stay correct against either — graphs outside a sound filter can
+        // never be answers. Index candidates already passed the full
+        // signature check (the folded pre-filter), so the scan below runs
+        // with Method M's per-candidate pre-filter off: one pass total.
+        let index_backed = self.label_index.is_some();
+        let csm = match self.label_index.as_mut() {
             Some(idx) => {
+                let t_prefilter = trace.then(Instant::now);
                 idx.sync(&self.store, &self.log);
-                match kind {
+                let cands = match kind {
                     QueryKind::Subgraph => idx.subgraph_candidates(query),
                     QueryKind::Supergraph => idx.supergraph_candidates(query),
+                };
+                if let Some(t) = t_prefilter {
+                    spans.record(Stage::Prefilter, t.elapsed().as_nanos() as u64);
                 }
+                cands
             }
             None => self.store.live_bitset(),
         };
         let candidate_size = csm.count_ones() as u64;
         let matcher = self.config.internal_matcher.matcher();
         let budget_token = (!budget.is_unlimited()).then_some(&token);
-        let trace = self.config.trace;
-        let mut spans = StageSpans::default();
         // Hit discovery under the token: an exhausted budget skips the
         // remaining probes, which only weakens pruning — every hit found
         // is real, so discovery never degrades the answer by itself.
@@ -366,13 +389,13 @@ impl GraphCachePlus {
                 (outcome.direct_answers.clone(), 0, 0, None, 0)
             } else {
                 let t_scan = trace.then(Instant::now);
-                let m = self.config.method.with_timing(trace).run_budgeted(
-                    query,
-                    kind,
-                    &self.store,
-                    &outcome.candidates,
-                    &token,
-                );
+                let mut method = self.config.method.with_timing(trace);
+                if index_backed {
+                    // the index already applied the signature pre-filter;
+                    // re-running it per candidate would be a second pass
+                    method = method.with_prefilter(false);
+                }
+                let m = method.run_budgeted(query, kind, &self.store, &outcome.candidates, &token);
                 if let Some(t) = t_scan {
                     spans.record(Stage::CandidateScan, t.elapsed().as_nanos() as u64);
                     // Prefilter/Verify are the scan's inner stages, summed
@@ -666,14 +689,32 @@ mod tests {
     }
 
     #[test]
-    fn first_query_runs_full_scan() {
+    fn first_query_scans_the_index_candidates() {
         let mut gc = GraphCachePlus::new(config(), dataset());
         let q = g(vec![0, 0], &[(0, 1)]);
         let out = gc.execute(&q, QueryKind::Subgraph);
         assert_eq!(out.answer.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2]);
-        assert_eq!(out.metrics.subiso_tests, 4);
+        // the postings index excludes graph 3 (labels {1,1}) before the
+        // scan; the three label-0 graphs are tested
+        assert_eq!(out.metrics.candidate_size, 3);
+        assert_eq!(out.metrics.subiso_tests, 3);
         assert_eq!(out.metrics.tests_saved, 0);
         assert_eq!(gc.occupancy(), (0, 1));
+    }
+
+    #[test]
+    fn paper_scan_config_tests_every_live_graph() {
+        let cfg = GcConfig {
+            candidate_source: CandidateSource::LiveScan,
+            ..config()
+        };
+        let mut gc = GraphCachePlus::new(cfg, dataset());
+        assert!(gc.label_index().is_none());
+        let q = g(vec![0, 0], &[(0, 1)]);
+        let out = gc.execute(&q, QueryKind::Subgraph);
+        assert_eq!(out.answer.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(out.metrics.candidate_size, 4, "CS_M is the live set");
+        assert_eq!(out.metrics.subiso_tests, 4);
     }
 
     #[test]
@@ -916,10 +957,11 @@ mod tests {
         assert_eq!(gc.quarantine_related(&q, QueryKind::Subgraph), 1);
         assert_eq!(gc.quarantined_entries(), 1);
         assert_eq!(gc.health_snapshot().quarantined_entries, 1);
-        // the quarantined twin serves no hits: full scan, no exact match
+        // the quarantined twin serves no hits: all index candidates are
+        // re-tested, no exact match
         let out = gc.execute(&q, QueryKind::Subgraph);
         assert!(!out.metrics.hits.exact_match);
-        assert_eq!(out.metrics.subiso_tests, 4);
+        assert_eq!(out.metrics.subiso_tests, 3);
         assert_eq!(out.answer.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2]);
         // the auditor always re-verifies quarantined entries, even at
         // sampling rate zero, and clears the clean ones
@@ -943,6 +985,10 @@ mod tests {
         assert!(out.metrics.spans.get(Stage::HitProbe) > 0);
         assert!(out.metrics.spans.get(Stage::CandidateScan) > 0);
         assert!(out.metrics.spans.get(Stage::Verify) > 0);
+        assert!(
+            out.metrics.spans.get(Stage::Prefilter) > 0,
+            "index sync + postings lookup is attributed to the prefilter stage"
+        );
         assert!(out.metrics.spans.get(Stage::Admission) > 0);
         assert_eq!(out.metrics.spans.get(Stage::Audit), 0);
         gc.audit(1.0, 3);

@@ -122,15 +122,10 @@ fn degenerate_capacities() {
 #[test]
 fn bulk_mutation_bypassing_apply_is_still_seen() {
     // with_dataset gives raw access; as long as the caller logs, the
-    // validators and the FTV index must pick the changes up lazily
+    // validators and the postings index must pick the changes up lazily
+    // (the index-backed candidate source is the default)
     let initial = vec![g(vec![0, 0], &[(0, 1)]), g(vec![1, 1], &[(0, 1)])];
-    let mut gc = GraphCachePlus::new(
-        GcConfig {
-            use_ftv_filter: true,
-            ..GcConfig::default()
-        },
-        initial,
-    );
+    let mut gc = GraphCachePlus::new(GcConfig::default(), initial);
     let q = g(vec![2, 2], &[(0, 1)]);
     assert!(gc.execute(&q, QueryKind::Subgraph).answer.is_empty());
 

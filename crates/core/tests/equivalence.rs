@@ -9,7 +9,7 @@
 //! paper's plan) to stress the validity machinery, comparing every single
 //! answer to a freshly computed ground truth.
 
-use gc_core::{baseline_execute, CacheModel, GcConfig, GraphCachePlus, Policy};
+use gc_core::{baseline_execute, CacheModel, CandidateSource, GcConfig, GraphCachePlus, Policy};
 use gc_dataset::{ChangeOp, OpType};
 use gc_graph::generate::{bfs_extract, random_connected_graph};
 use gc_graph::LabeledGraph;
@@ -107,8 +107,13 @@ fn run_equivalence(
         policy,
         method: MethodM::new(algorithm),
         internal_matcher: Algorithm::Vf2Plus,
-        // half the runs exercise the FTV-filtered CS_M path
-        use_ftv_filter: seed.is_multiple_of(2),
+        // half the runs exercise the index-backed CS_M path, half the
+        // paper's full live scan
+        candidate_source: if seed.is_multiple_of(2) {
+            CandidateSource::LabelIndex
+        } else {
+            CandidateSource::LiveScan
+        },
         // a third of the runs exercise the parallel probe path
         probe_parallelism: if seed.is_multiple_of(3) { 4 } else { 1 },
         ..GcConfig::default()

@@ -1,4 +1,4 @@
-//! An *updatable* filter-then-verify (FTV) candidate index.
+//! The postings-bitset label index — the default `CS_M` candidate source.
 //!
 //! The paper observes that "none of the proposed FTV algorithms so far has
 //! updatable index or similar solutions to tackle dataset changes", which
@@ -6,56 +6,76 @@
 //! indexes (frequent subgraphs, paths, trees, cycles): a UA/UR can create
 //! or destroy arbitrarily many indexed features, forcing a rebuild.
 //!
-//! The **label/size fragment** of FTV filtering, however, *is* updatable:
+//! The **signature fragment** of FTV filtering, however, *is* updatable:
 //! vertex labels never change under the paper's four operations, and
-//! UA/UR shift only a per-graph edge counter. This module implements that
-//! fragment — per-label posting bitsets plus per-graph size/label
-//! signatures — kept incrementally in sync with the dataset by replaying
-//! the change log from a cursor:
+//! UA/UR shift only the per-graph edge count and maximum degree — both
+//! maintained incrementally by [`LabeledGraph`] itself. This module keeps
+//! that fragment as cheap set-algebra objects:
+//!
+//! * **postings** — one [`BitSet`] per label, holding every live graph in
+//!   which the label occurs. A query's candidate set starts as the
+//!   *intersection* of its distinct labels' postings (subgraph queries) or
+//!   the live set minus the postings of foreign labels (supergraph
+//!   queries) — pure bitword operations, no per-graph branching;
+//! * **retained signatures** — the full [`GraphSignature`] (vertex/edge
+//!   counts, maximum degree, label histogram) per indexed graph. The
+//!   refine pass applies complete signature domination, so Method M's
+//!   per-candidate signature pre-filter is *folded into the index*: one
+//!   pass over the postings intersection yields the final candidate set
+//!   and every emitted candidate already passes the pre-filter.
+//!
+//! The index never rebuilds on the update path. [`sync`](LabelIndex::sync)
+//! replays the change log from a cursor:
 //!
 //! * ADD → index the new graph (fetched from the store);
 //! * DEL → unindex using the signature the index itself retained (the
 //!   graph is already gone from the store);
-//! * UA/UR → bump the edge counter, O(1).
+//! * UA/UR → refresh edge count and maximum degree from the live graph's
+//!   own incrementally-maintained signature, O(1).
 //!
-//! `candidates(query, kind)` returns a *superset* of the true answer set
+//! `*_candidates(query)` returns a *superset* of the true answer set
 //! (a sound filter), so it can replace the full live dataset as `CS_M`
-//! in both plain Method M and GC+ — turning the deployment into the
-//! paper's "GC+ over an FTV method" configuration.
+//! in both plain Method M and GC+ — the default deployment since the
+//! index became the standing candidate source.
 
 use std::collections::HashMap;
 
-use gc_graph::{BitSet, Label, LabeledGraph};
+use gc_graph::{BitSet, GraphSignature, Label, LabeledGraph};
 
 use crate::log::{ChangeLog, LogCursor, OpType};
 use crate::store::{GraphId, GraphStore};
 
-/// Per-graph signature retained by the index.
-#[derive(Debug, Clone)]
-struct Signature {
-    vertices: u32,
-    edges: u32,
-    /// label histogram, sorted by label
-    hist: Vec<(Label, u32)>,
-}
-
-/// Updatable label/size candidate filter.
+/// Updatable postings-bitset candidate filter with the signature
+/// pre-filter folded in.
 #[derive(Debug, Default)]
 pub struct LabelIndex {
     postings: HashMap<Label, BitSet>,
-    signatures: Vec<Option<Signature>>,
+    /// Every indexed (live) graph — the supergraph sweep's starting set
+    /// and the label-less query fallback.
+    indexed: BitSet,
+    /// Full retained signature per graph (`None` = not indexed). Kept
+    /// even after DEL removes the graph from the store, until the DEL
+    /// record is replayed, so unindexing needs no store access.
+    signatures: Vec<Option<GraphSignature>>,
     cursor: LogCursor,
+    /// Log records replayed through [`sync`](Self::sync) since
+    /// construction — the witness that maintenance went through the
+    /// incremental path instead of a rebuild.
+    records_replayed: u64,
 }
 
 impl LabelIndex {
     /// Builds the index over the store's current contents. The log cursor
     /// starts at `log.head()`, so subsequent [`sync`](Self::sync) calls
-    /// replay only newer records.
+    /// replay only newer records. This is the only full pass the index
+    /// ever makes; all maintenance afterwards is incremental.
     pub fn build(store: &GraphStore, log: &ChangeLog) -> Self {
         let mut idx = LabelIndex {
             postings: HashMap::new(),
+            indexed: BitSet::with_capacity(store.id_span()),
             signatures: Vec::with_capacity(store.id_span()),
             cursor: log.head(),
+            records_replayed: 0,
         };
         idx.signatures.resize(store.id_span(), None);
         for (id, g) in store.iter_live() {
@@ -68,24 +88,22 @@ impl LabelIndex {
         if id >= self.signatures.len() {
             self.signatures.resize(id + 1, None);
         }
-        let hist = g.label_histogram();
-        for &(label, _) in &hist {
+        let sig = g.signature().clone();
+        for &(label, _) in &sig.labels {
             self.postings.entry(label).or_default().set(id, true);
         }
-        self.signatures[id] = Some(Signature {
-            vertices: g.vertex_count() as u32,
-            edges: g.edge_count() as u32,
-            hist,
-        });
+        self.indexed.set(id, true);
+        self.signatures[id] = Some(sig);
     }
 
     fn unindex_graph(&mut self, id: GraphId) {
         if let Some(sig) = self.signatures.get_mut(id).and_then(Option::take) {
-            for (label, _) in sig.hist {
+            for (label, _) in sig.labels {
                 if let Some(p) = self.postings.get_mut(&label) {
                     p.set(id, false);
                 }
             }
+            self.indexed.set(id, false);
         }
     }
 
@@ -96,6 +114,7 @@ impl LabelIndex {
         // borrow short — batches are tiny (paper: 20 ops)
         let records: Vec<_> = log.records_since(self.cursor).to_vec();
         self.cursor = log.head();
+        self.records_replayed += records.len() as u64;
         for r in records {
             match r.op {
                 OpType::Add => {
@@ -104,14 +123,24 @@ impl LabelIndex {
                     }
                 }
                 OpType::Del => self.unindex_graph(r.graph_id),
-                OpType::Ua => {
+                OpType::Ua | OpType::Ur => {
                     if let Some(Some(sig)) = self.signatures.get_mut(r.graph_id) {
-                        sig.edges += 1;
-                    }
-                }
-                OpType::Ur => {
-                    if let Some(Some(sig)) = self.signatures.get_mut(r.graph_id) {
-                        sig.edges = sig.edges.saturating_sub(1);
+                        match store.get(r.graph_id) {
+                            // the graph maintains its own signature across
+                            // UA/UR — mirror edge count and max degree
+                            Some(g) => {
+                                let live = g.signature();
+                                sig.edges = live.edges;
+                                sig.max_degree = live.max_degree;
+                            }
+                            // already deleted later in this batch: keep the
+                            // counter roughly right; the DEL record will
+                            // unindex it before any candidate can leak
+                            None => match r.op {
+                                OpType::Ua => sig.edges += 1,
+                                _ => sig.edges = sig.edges.saturating_sub(1),
+                            },
+                        }
                     }
                 }
             }
@@ -120,19 +149,58 @@ impl LabelIndex {
 
     /// Number of indexed (live) graphs.
     pub fn indexed_count(&self) -> usize {
-        self.signatures.iter().filter(|s| s.is_some()).count()
+        self.indexed.count_ones()
     }
 
-    /// Filter stage for a **subgraph** query: graphs that could contain
-    /// the query (size ≥, label multiset dominates). Sound: a superset of
-    /// the answer set.
+    /// Log records replayed incrementally since construction. Stays at 0
+    /// until the first post-build [`sync`](Self::sync) sees new records —
+    /// callers that churn the dataset can assert this grew to prove the
+    /// index was maintained, not rebuilt.
+    pub fn records_replayed(&self) -> u64 {
+        self.records_replayed
+    }
+
+    /// Structural equality with another index: same indexed set, same
+    /// retained signatures, same postings (a posting emptied by deletions
+    /// equals an absent one). The cursor and replay counter are *not*
+    /// compared — two structurally equal indexes may have different
+    /// histories. This is the maintenance tests' witness that incremental
+    /// sync converges to exactly what a fresh build would produce.
+    pub fn same_structure(&self, other: &LabelIndex) -> bool {
+        if self.indexed != other.indexed {
+            return false;
+        }
+        let span = self.signatures.len().max(other.signatures.len());
+        for id in 0..span {
+            let a = self.signatures.get(id).and_then(Option::as_ref);
+            let b = other.signatures.get(id).and_then(Option::as_ref);
+            if a != b {
+                return false;
+            }
+        }
+        let empty = BitSet::new();
+        self.postings
+            .keys()
+            .chain(other.postings.keys())
+            .all(|label| {
+                let a = self.postings.get(label).unwrap_or(&empty);
+                let b = other.postings.get(label).unwrap_or(&empty);
+                a == b
+            })
+    }
+
+    /// Filter stage for a **subgraph** query: intersects the postings of
+    /// the query's distinct labels *before* any signature or degree check,
+    /// then refines the survivors by full signature domination (vertex and
+    /// edge counts, maximum degree, label multiset). Sound — a superset of
+    /// the answer set — and *complete as a pre-filter*: every emitted
+    /// candidate passes Method M's signature pre-filter, so the scan can
+    /// skip that stage entirely.
     pub fn subgraph_candidates(&self, query: &LabeledGraph) -> BitSet {
-        let qhist = query.label_histogram();
-        let qv = query.vertex_count() as u32;
-        let qe = query.edge_count() as u32;
+        let qsig = query.signature();
         // intersect postings of the query's distinct labels
         let mut cands: Option<BitSet> = None;
-        for &(label, _) in &qhist {
+        for &(label, _) in &qsig.labels {
             match self.postings.get(&label) {
                 Some(p) => match cands.as_mut() {
                     Some(c) => c.intersect_with(p),
@@ -141,22 +209,13 @@ impl LabelIndex {
                 None => return BitSet::new(),
             }
         }
-        let coarse = match cands {
-            Some(c) => c,
-            // label-less query (no vertices): all indexed graphs qualify
-            None => BitSet::from_indices(
-                self.signatures
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, s)| s.is_some())
-                    .map(|(i, _)| i),
-            ),
-        };
-        // refine by size + multiset dominance
+        // label-less query (no vertices): all indexed graphs qualify
+        let coarse = cands.unwrap_or_else(|| self.indexed.clone());
+        // refine by full signature domination (the folded pre-filter)
         let mut out = coarse.clone();
         for id in coarse.iter_ones() {
             let sig = self.signatures[id].as_ref().expect("posted ⇒ indexed");
-            if sig.vertices < qv || sig.edges < qe || !hist_dominates(&sig.hist, &qhist) {
+            if !sig.dominates(qsig) {
                 out.set(id, false);
             }
         }
@@ -164,35 +223,29 @@ impl LabelIndex {
     }
 
     /// Filter stage for a **supergraph** query: graphs the query could
-    /// contain (size ≤, label multiset dominated by the query's).
+    /// contain. Starts from the live set, subtracts the postings of every
+    /// label the query does *not* carry (a graph with a foreign label can
+    /// never be contained), then refines by the reverse signature
+    /// domination. Same soundness and pre-filter-completeness guarantees
+    /// as [`subgraph_candidates`](Self::subgraph_candidates).
     pub fn supergraph_candidates(&self, query: &LabeledGraph) -> BitSet {
-        let qhist = query.label_histogram();
-        let qv = query.vertex_count() as u32;
-        let qe = query.edge_count() as u32;
-        let mut out = BitSet::new();
-        for (id, sig) in self.signatures.iter().enumerate() {
-            if let Some(sig) = sig {
-                if sig.vertices <= qv && sig.edges <= qe && hist_dominates(&qhist, &sig.hist) {
-                    out.set(id, true);
-                }
+        let qsig = query.signature();
+        let mut out = self.indexed.clone();
+        for (label, posting) in &self.postings {
+            let known = qsig.labels.binary_search_by_key(label, |&(l, _)| l).is_ok();
+            if !known {
+                out.difference_with(posting);
+            }
+        }
+        let coarse = out.clone();
+        for id in coarse.iter_ones() {
+            let sig = self.signatures[id].as_ref().expect("posted ⇒ indexed");
+            if !qsig.dominates(sig) {
+                out.set(id, false);
             }
         }
         out
     }
-}
-
-/// `true` iff histogram `big` dominates `small` (both sorted by label).
-fn hist_dominates(big: &[(Label, u32)], small: &[(Label, u32)]) -> bool {
-    let mut bi = 0;
-    for &(l, c) in small {
-        while bi < big.len() && big[bi].0 < l {
-            bi += 1;
-        }
-        if bi >= big.len() || big[bi].0 != l || big[bi].1 < c {
-            return false;
-        }
-    }
-    true
 }
 
 #[cfg(test)]
@@ -218,6 +271,7 @@ mod tests {
     fn build_indexes_all_live_graphs() {
         let (_, _, idx) = setup();
         assert_eq!(idx.indexed_count(), 3);
+        assert_eq!(idx.records_replayed(), 0, "build is not a replay");
     }
 
     #[test]
@@ -241,10 +295,26 @@ mod tests {
     }
 
     #[test]
+    fn max_degree_is_folded_into_the_filter() {
+        let (_, _, idx) = setup();
+        // star on three 0/1-labeled vertices: center degree 2. Graph 1
+        // (single 0-0 edge, max degree 1) passes the label intersection
+        // and the edge-count bound is irrelevant, but graph 0 is the only
+        // one whose max degree supports the star's center.
+        let star = g(vec![0, 0, 1], &[(0, 1), (0, 2)]);
+        assert_eq!(
+            idx.subgraph_candidates(&star)
+                .iter_ones()
+                .collect::<Vec<_>>(),
+            vec![0]
+        );
+    }
+
+    #[test]
     fn supergraph_filter_is_sound() {
         let (_, _, idx) = setup();
-        // supergraph query with labels 0,0,1,1,2 and 4 edges could contain
-        // all three graphs
+        // supergraph query with labels 0,0,1,1,2 and enough structure could
+        // contain all three graphs (max degree 2 ≥ each graph's)
         let q = g(vec![0, 0, 1, 1, 2], &[(0, 1), (1, 2), (2, 3), (3, 4)]);
         assert_eq!(
             idx.supergraph_candidates(&q)
@@ -271,6 +341,7 @@ mod tests {
         log.append(1, OpType::Del);
         idx.sync(&store, &log);
         assert_eq!(idx.indexed_count(), 3);
+        assert_eq!(idx.records_replayed(), 2);
         // the new graph (labels {0,2}) answers a 0-2 query
         let q = g(vec![0, 2], &[(0, 1)]);
         assert_eq!(
@@ -306,6 +377,51 @@ mod tests {
         log.append_edge(id, OpType::Ur, 1, 2);
         idx.sync(&store, &log);
         assert!(!idx.subgraph_candidates(&q).get(id));
+    }
+
+    #[test]
+    fn sync_tracks_max_degree_changes() {
+        let (mut store, mut log, mut idx) = setup();
+        // star query needing a degree-2 center on 0-labels
+        let star = g(vec![0, 0, 0], &[(0, 1), (0, 2)]);
+        let id = store.add_graph(g(vec![0, 0, 0], &[(0, 1), (1, 2)]));
+        log.append(id, OpType::Add);
+        idx.sync(&store, &log);
+        assert!(idx.subgraph_candidates(&star).get(id), "path has degree 2");
+
+        // UR the middle edge: max degree drops to 1, the star is
+        // infeasible — only the folded max-degree bound can see this
+        // (vertex count, edge count and labels all still dominate)
+        store.remove_edge(id, 1, 2).unwrap();
+        log.append_edge(id, OpType::Ur, 1, 2);
+        idx.sync(&store, &log);
+        assert_eq!(store.get(id).unwrap().edge_count(), 1);
+        assert!(
+            !idx.subgraph_candidates(&star).get(id),
+            "max degree 1 cannot host a degree-2 star center"
+        );
+
+        store.add_edge(id, 1, 2).unwrap();
+        log.append_edge(id, OpType::Ua, 1, 2);
+        idx.sync(&store, &log);
+        assert!(idx.subgraph_candidates(&star).get(id));
+    }
+
+    #[test]
+    fn incremental_sync_matches_fresh_build_structurally() {
+        let (mut store, mut log, mut idx) = setup();
+        let id = store.add_graph(g(vec![0, 1, 2], &[(0, 1), (1, 2)]));
+        log.append(id, OpType::Add);
+        store.remove_edge(id, 0, 1).unwrap();
+        log.append_edge(id, OpType::Ur, 0, 1);
+        store.delete(0).unwrap();
+        log.append(0, OpType::Del);
+        idx.sync(&store, &log);
+        let fresh = LabelIndex::build(&store, &log);
+        assert!(idx.same_structure(&fresh));
+        assert!(fresh.same_structure(&idx), "symmetric");
+        assert_eq!(fresh.records_replayed(), 0);
+        assert_eq!(idx.records_replayed(), 3);
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Property tests for the postings-bitset label index: the candidate sets
+//! produced by bitword intersection/subtraction are checked against a
+//! brute-force reference model that filters by raw label multisets and
+//! degree sequences, recomputed from scratch per graph. Covers arbitrary
+//! graphs, arbitrary query label multisets, and the degenerate cases the
+//! set algebra must get right: the empty intersection (a query label no
+//! graph carries) and the single-label query (intersection of one
+//! posting).
+
+use std::collections::HashMap;
+
+use gc_dataset::{ChangeLog, GraphStore, LabelIndex};
+use gc_graph::generate::{bfs_extract, random_connected_graph};
+use gc_graph::{Label, LabeledGraph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Label histogram computed from raw vertex labels — independent of the
+/// maintained `GraphSignature`.
+fn hist(g: &LabeledGraph) -> HashMap<Label, u32> {
+    let mut h = HashMap::new();
+    for &l in g.labels() {
+        *h.entry(l).or_insert(0u32) += 1;
+    }
+    h
+}
+
+fn max_degree(g: &LabeledGraph) -> usize {
+    g.vertices().map(|v| g.degree(v)).max().unwrap_or(0)
+}
+
+/// Brute-force signature domination: `big` could contain `small`, judged
+/// only from raw graph data (the reference model the index must match).
+fn dominates_model(big: &LabeledGraph, small: &LabeledGraph) -> bool {
+    let bh = hist(big);
+    big.vertex_count() >= small.vertex_count()
+        && big.edge_count() >= small.edge_count()
+        && max_degree(big) >= max_degree(small)
+        && hist(small)
+            .iter()
+            .all(|(l, c)| bh.get(l).copied().unwrap_or(0) >= *c)
+}
+
+fn random_dataset(seed: u64) -> (GraphStore, ChangeLog, Vec<LabeledGraph>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.random_range(4..20usize);
+    let label_span = rng.random_range(1..5u16);
+    let graphs: Vec<LabeledGraph> = (0..n)
+        .map(|_| {
+            let v = rng.random_range(2..12usize);
+            let extra = rng.random_range(0..v);
+            random_connected_graph(&mut rng, v, extra, |r| r.random_range(0..label_span))
+        })
+        .collect();
+    let store = GraphStore::from_graphs(graphs.clone());
+    (store, ChangeLog::new(), graphs)
+}
+
+proptest! {
+    /// Subgraph candidates from postings intersection + folded signature
+    /// refine equal the brute-force filter over raw graph data, for
+    /// structured queries extracted from (or generated independently of)
+    /// the dataset.
+    #[test]
+    fn subgraph_candidates_match_bruteforce(seed in 0u64..300) {
+        let (store, log, graphs) = random_dataset(seed);
+        let idx = LabelIndex::build(&store, &log);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x51AB);
+        for round in 0..4u64 {
+            let query = if round.is_multiple_of(2) {
+                let src = &graphs[rng.random_range(0..graphs.len())];
+                let start = rng.random_range(0..src.vertex_count() as u32);
+                let want = rng.random_range(1..=src.edge_count().min(4));
+                match bfs_extract(&mut rng, src, start, want) {
+                    Some(q) => q,
+                    None => continue,
+                }
+            } else {
+                random_connected_graph(&mut rng, 3, 1, |r| r.random_range(0..6u16))
+            };
+            let got: Vec<usize> = idx.subgraph_candidates(&query).iter_ones().collect();
+            let want: Vec<usize> = store
+                .iter_live()
+                .filter(|(_, g)| dominates_model(g, &query))
+                .map(|(id, _)| id)
+                .collect();
+            prop_assert_eq!(got, want, "seed {} round {}", seed, round);
+        }
+    }
+
+    /// Supergraph candidates (live set minus foreign-label postings,
+    /// refined by reverse domination) equal the brute-force filter.
+    #[test]
+    fn supergraph_candidates_match_bruteforce(seed in 0u64..300) {
+        let (store, log, _) = random_dataset(seed);
+        let idx = LabelIndex::build(&store, &log);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x50B1);
+        for round in 0..4 {
+            let v = rng.random_range(2..14usize);
+            let extra = rng.random_range(0..v);
+            let query = random_connected_graph(&mut rng, v, extra, |r| r.random_range(0..5u16));
+            let got: Vec<usize> = idx.supergraph_candidates(&query).iter_ones().collect();
+            let want: Vec<usize> = store
+                .iter_live()
+                .filter(|(_, g)| dominates_model(&query, g))
+                .map(|(id, _)| id)
+                .collect();
+            prop_assert_eq!(got, want, "seed {} round {}", seed, round);
+        }
+    }
+
+    /// Arbitrary label *multisets* (edge-free query graphs, so only the
+    /// label/vertex-count fragment of the signature bites): the postings
+    /// intersection must equal brute-force multiset inclusion. Includes
+    /// the empty-intersection case (labels drawn from a wider span than
+    /// the dataset's) and the single-label degenerate case.
+    #[test]
+    fn label_multiset_filter_matches_bruteforce(
+        seed in 0u64..200,
+        labels in prop::collection::vec(0u16..8, 1..6),
+    ) {
+        let (store, log, _) = random_dataset(seed);
+        let idx = LabelIndex::build(&store, &log);
+        let query = LabeledGraph::from_parts(labels.clone(), &[]).unwrap();
+        let got: Vec<usize> = idx.subgraph_candidates(&query).iter_ones().collect();
+        let qh = hist(&query);
+        let want: Vec<usize> = store
+            .iter_live()
+            .filter(|(_, g)| {
+                let gh = hist(g);
+                g.vertex_count() >= query.vertex_count()
+                    && qh.iter().all(|(l, c)| gh.get(l).copied().unwrap_or(0) >= *c)
+            })
+            .map(|(id, _)| id)
+            .collect();
+        prop_assert_eq!(got, want);
+        // datasets use labels < 5; a query containing label 7 must hit the
+        // missing-posting fast path and return the empty set
+        if labels.contains(&7) {
+            prop_assert!(idx.subgraph_candidates(&query).is_empty());
+        }
+    }
+
+    /// Single-label degenerate case: the candidate set is exactly that
+    /// label's posting (every graph holding the label has ≥ 1 vertex and
+    /// dominates a 1-vertex edge-free query).
+    #[test]
+    fn single_label_query_returns_the_posting(seed in 0u64..200, label in 0u16..5) {
+        let (store, log, _) = random_dataset(seed);
+        let idx = LabelIndex::build(&store, &log);
+        let query = LabeledGraph::from_parts(vec![label], &[]).unwrap();
+        let got: Vec<usize> = idx.subgraph_candidates(&query).iter_ones().collect();
+        let want: Vec<usize> = store
+            .iter_live()
+            .filter(|(_, g)| g.labels().contains(&label))
+            .map(|(id, _)| id)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Candidates are always a subset of the live set, in both directions.
+    #[test]
+    fn candidates_are_live(seed in 0u64..200) {
+        let (store, log, graphs) = random_dataset(seed);
+        let idx = LabelIndex::build(&store, &log);
+        let live = store.live_bitset();
+        let q = &graphs[0];
+        prop_assert!(idx.subgraph_candidates(q).is_subset_of(&live));
+        prop_assert!(idx.supergraph_candidates(q).is_subset_of(&live));
+    }
+}

@@ -46,12 +46,12 @@ fn main() {
         );
     }
 
-    // ---- 2. the updatable FTV filter as CS_M source ----
-    println!("\n== full-scan vs FTV-filtered candidate sets ==");
-    for (name, use_ftv_filter) in [("full scan", false), ("FTV filter", true)] {
+    // ---- 2. scan-backed vs index-backed CS_M ----
+    println!("\n== full-scan vs postings-index candidate sets ==");
+    for source in [CandidateSource::LiveScan, CandidateSource::LabelIndex] {
         let mut gc = GraphCachePlus::new(
             GcConfig {
-                use_ftv_filter,
+                candidate_source: source,
                 method: MethodM::new(Algorithm::Vf2Plus),
                 ..GcConfig::default()
             },
@@ -60,7 +60,7 @@ fn main() {
         let out = gc.execute(&query, QueryKind::Subgraph);
         println!(
             "  {:10} → |CS_M| = {:3}, {:3} tests, {:2} answers",
-            name,
+            source.name(),
             out.metrics.candidate_size,
             out.metrics.subiso_tests,
             out.answer.count_ones()

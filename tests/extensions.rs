@@ -9,7 +9,7 @@ use rand::{Rng, SeedableRng};
 fn extended_config() -> GcConfig {
     GcConfig {
         model: CacheModel::ConRetro,
-        use_ftv_filter: true,
+        candidate_source: CandidateSource::LabelIndex,
         method: MethodM::new(Algorithm::Vf2Plus),
         ..GcConfig::default()
     }
@@ -84,7 +84,7 @@ fn ftv_filter_shrinks_candidates_without_losing_answers() {
     let mut filtered = GraphCachePlus::new(extended_config(), dataset.clone());
     let mut unfiltered = GraphCachePlus::new(
         GcConfig {
-            use_ftv_filter: false,
+            candidate_source: CandidateSource::LiveScan,
             ..extended_config()
         },
         dataset.clone(),
@@ -148,19 +148,42 @@ fn retro_preserves_exact_match_shortcuts_across_neutral_churn() {
 #[test]
 fn sharded_metrics_aggregate_sensibly() {
     let dataset = synthetic_aids(&AidsConfig::scaled(45, 8));
-    let mut sharded = ShardedGraphCache::new(GcConfig::default(), dataset.clone(), 3);
     let mut rng = StdRng::seed_from_u64(4);
     let q = gc_graph::generate::bfs_extract(&mut rng, &dataset[0], 0, 4).expect("extractable");
 
-    let out = sharded.execute(&q, QueryKind::Subgraph);
+    // paper-faithful scan source: every live graph is a candidate
+    let mut scan = ShardedGraphCache::new(
+        GcConfig {
+            candidate_source: CandidateSource::LiveScan,
+            ..GcConfig::default()
+        },
+        dataset.clone(),
+        3,
+    );
+    let out = scan.execute(&q, QueryKind::Subgraph);
     assert_eq!(
         out.metrics.candidate_size, 45,
         "all live graphs across shards"
     );
     assert_eq!(out.metrics.subiso_tests, 45, "cold caches test everything");
 
-    let again = sharded.execute(&q, QueryKind::Subgraph);
+    let again = scan.execute(&q, QueryKind::Subgraph);
     assert_eq!(again.answer, out.answer);
     assert_eq!(again.metrics.subiso_tests, 0, "every shard exact-matches");
     assert_eq!(again.metrics.tests_saved, 45);
+
+    // default (index-backed) source: the postings pre-filter runs inside
+    // each shard, so aggregated candidates can only shrink and cold-cache
+    // tests equal the candidates that survived it
+    let mut indexed = ShardedGraphCache::new(GcConfig::default(), dataset, 3);
+    let cold = indexed.execute(&q, QueryKind::Subgraph);
+    assert_eq!(cold.answer, out.answer, "sources agree on the answer");
+    assert!(cold.metrics.candidate_size <= 45);
+    assert_eq!(
+        cold.metrics.subiso_tests, cold.metrics.candidate_size,
+        "cold caches test every index candidate"
+    );
+    let warm = indexed.execute(&q, QueryKind::Subgraph);
+    assert_eq!(warm.metrics.subiso_tests, 0, "every shard exact-matches");
+    assert_eq!(warm.metrics.tests_saved, warm.metrics.candidate_size);
 }

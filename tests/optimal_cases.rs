@@ -62,8 +62,18 @@ fn empty_answer_shortcut() {
     let first = gc.execute(&probe, QueryKind::Subgraph);
     assert!(first.answer.is_empty());
     assert_eq!(
-        first.metrics.subiso_tests, 5,
-        "cold cache: every live graph is tested"
+        first.metrics.subiso_tests, 0,
+        "postings index proves CS_M empty: the only label-1 graph lacks the edge count"
+    );
+
+    // under the paper's full-scan CS_M the same cold query examines every
+    // live graph (prefilter decisions count as tests — Figure 5's premise)
+    let mut scan = GraphCachePlus::new(GcConfig::paper(Algorithm::Vf2, CacheModel::Con), dataset());
+    let scanned = scan.execute(&probe, QueryKind::Subgraph);
+    assert_eq!(scanned.answer, first.answer);
+    assert_eq!(
+        scanned.metrics.subiso_tests, 5,
+        "cold cache, full scan: every live graph is examined"
     );
 
     // any supergraph of the probe is provably empty — zero tests
