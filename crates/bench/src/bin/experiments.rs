@@ -26,6 +26,11 @@
 //!                vs paper full scan) side by side, writes
 //!                CHAOS_indexdiff.json and exits non-zero on any answer
 //!                or audit divergence between the two; with
+//!                --repair-diff, replays the same pinned fault plan
+//!                against BOTH maintenance modes (delta-repair default
+//!                vs paper invalidate-only) side by side, writes
+//!                CHAOS_repairdiff.json and exits non-zero on any answer
+//!                or audit divergence between the two; with
 //!                --net, drives the real loopback TCP server instead: a
 //!                Zipf storm of concurrent clients under dropped
 //!                connections, delayed frames, a stalled shard and a
@@ -47,7 +52,7 @@ use gc_telemetry::{HistogramSnapshot, StageSpans};
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <fig4-typea|fig4-typeb|fig5|fig6|insights|dataset|ablation|bench-subiso|chaos|all> \
-         [--scale small|medium|paper] [--quick] [--net] [--index-diff] [--out PATH]"
+         [--scale small|medium|paper] [--quick] [--net] [--index-diff] [--repair-diff] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -78,6 +83,7 @@ fn main() {
     let mut quick = false;
     let mut net = false;
     let mut index_diff = false;
+    let mut repair_diff = false;
     let mut out_path: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
@@ -93,6 +99,7 @@ fn main() {
             "--quick" => quick = true,
             "--net" => net = true,
             "--index-diff" => index_diff = true,
+            "--repair-diff" => repair_diff = true,
             "--out" => {
                 i += 1;
                 out_path = Some(args.get(i).unwrap_or_else(|| usage()).clone());
@@ -105,9 +112,10 @@ fn main() {
         i += 1;
     }
     let out_path = out_path.unwrap_or_else(|| {
-        String::from(match (command.as_str(), index_diff) {
-            ("chaos", true) => "CHAOS_indexdiff.json",
-            ("chaos", false) => "CHAOS_report.json",
+        String::from(match (command.as_str(), index_diff, repair_diff) {
+            ("chaos", true, _) => "CHAOS_indexdiff.json",
+            ("chaos", false, true) => "CHAOS_repairdiff.json",
+            ("chaos", false, false) => "CHAOS_report.json",
             _ => "BENCH_subiso.json",
         })
     });
@@ -121,6 +129,8 @@ fn main() {
             net_chaos(scale, &out_path);
         } else if index_diff {
             index_diff_chaos(scale, &out_path);
+        } else if repair_diff {
+            repair_diff_chaos(scale, &out_path);
         } else {
             chaos(scale, &out_path);
         }
@@ -376,6 +386,94 @@ fn index_diff_chaos(scale: Scale, out_path: &str) {
             "index-diff FAILED: answer or audit divergence between the candidate sources, \
              an index that grew CS_M, mismatched panic containment, leftover quarantine, \
              or a rebuilt (non-incremental) index"
+        );
+        std::process::exit(1);
+    }
+}
+
+fn repair_diff_chaos(scale: Scale, out_path: &str) {
+    let mut cfg = gc_bench::ChaosConfig::new(scale);
+    match gc_core::FaultPlan::from_env() {
+        Ok(Some(plan)) => cfg.fault_plan = plan,
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("invalid GC_FAULT_PLAN: {e}");
+            std::process::exit(2);
+        }
+    }
+    println!(
+        "# Maintenance-mode differential chaos — {} graphs, {} queries/workload\n\
+         delta-repair default vs invalidate-only oracle, both under fault plan: {}\n",
+        cfg.scale.dataset_graphs, cfg.scale.num_queries, cfg.fault_plan
+    );
+    let t0 = Instant::now();
+    let report = gc_bench::run_repair_diff(&cfg);
+    let mut t = Table::new(
+        "Repair-diff verdicts: delta-repair vs invalidate-only under identical faults",
+        &[
+            "workload",
+            "queries",
+            "updates",
+            "exact",
+            "degraded",
+            "divergent",
+            "audit diverg.",
+            "repairs",
+            "inval. avoided",
+            "fallbacks",
+            "maint. ms",
+            "panics rep/inv",
+            "verdict",
+        ],
+    );
+    for c in &report.cells {
+        t.row(vec![
+            c.workload.clone(),
+            c.queries.to_string(),
+            c.updates.to_string(),
+            c.exact.to_string(),
+            c.degraded.to_string(),
+            c.divergent.to_string(),
+            c.audit_divergent.to_string(),
+            c.repairs_applied.to_string(),
+            c.invalidations_avoided.to_string(),
+            c.repair_fallbacks.to_string(),
+            f2(c.repair_nanos as f64 / 1e6),
+            format!("{}/{}", c.panics_repair, c.panics_oracle),
+            if c.passed() { "ok" } else { "FAIL" }.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    let (repairs, avoided, fallbacks) = report.cells.iter().fold((0u64, 0u64, 0u64), |acc, c| {
+        (
+            acc.0 + c.repairs_applied,
+            acc.1 + c.invalidations_avoided,
+            acc.2 + c.repair_fallbacks,
+        )
+    });
+    println!(
+        "maintenance work: {} validity bits spliced, {} invalidations avoided, \
+         {} budget fallbacks across the suite",
+        repairs, avoided, fallbacks
+    );
+    println!("wall time: {:.1}s", t0.elapsed().as_secs_f64());
+    if let Err(e) = std::fs::write(out_path, report.to_json()) {
+        eprintln!("cannot write repair-diff artifact '{out_path}': {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+    if !report.passed() {
+        eprintln!(
+            "repair-diff FAILED: answer or audit divergence between the maintenance modes, \
+             repair activity on the invalidate-only oracle, mismatched panic containment, \
+             or leftover quarantine"
+        );
+        std::process::exit(1);
+    }
+    if report.total_invalidations_avoided() == 0 {
+        eprintln!(
+            "repair-diff FAILED: the repair path never avoided an invalidation — \
+             the differential proved nothing at this scale/plan"
         );
         std::process::exit(1);
     }

@@ -24,11 +24,11 @@ use std::time::{Duration, Instant};
 
 use gc_core::{
     AuditReport, CandidateSource, FaultInjector, FaultPlan, GcConfig, GraphCachePlus,
-    HealthSnapshot, QueryBudget,
+    HealthSnapshot, MaintenanceMode, QueryBudget,
 };
 use gc_dataset::{ChangeOp, ChangePlan, GraphStore, OpType};
 use gc_graph::LabeledGraph;
-use gc_telemetry::{Histogram, HistogramSnapshot, StageSpans};
+use gc_telemetry::{Histogram, HistogramSnapshot, Stage, StageSpans};
 use gc_workload::Workload;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -600,6 +600,319 @@ pub fn run_index_diff_cell(
     cell
 }
 
+/// Per-workload verdict of one maintenance-mode differential replay: the
+/// same fault plan fired against a delta-repair pipeline (the default
+/// [`MaintenanceMode::Repair`](gc_core::MaintenanceMode::Repair)) and an
+/// invalidate-only oracle, side by side on identical query/change streams.
+#[derive(Debug, Clone)]
+pub struct RepairDiffCell {
+    /// Workload name (ZZ / ZU / UU / 0% / 20% / 50%).
+    pub workload: String,
+    /// Queries replayed through both pipelines.
+    pub queries: usize,
+    /// Dataset updates applied to both instances.
+    pub updates: usize,
+    /// Queries where both sides returned the identical undegraded answer.
+    pub exact: usize,
+    /// Queries where at least one side returned an explicitly degraded
+    /// (sound partial) outcome.
+    pub degraded: usize,
+    /// Answer divergence between the two maintenance modes: undegraded
+    /// mismatches, or a degraded partial that was not a subset of the
+    /// other side's exact answer. Must be zero.
+    pub divergent: usize,
+    /// Auditor passes compared (one per update burst plus the final
+    /// sweep).
+    pub audit_passes: usize,
+    /// Audit passes whose verdicts (sampled/clean/repaired/evicted)
+    /// differed between the two pipelines. Must be zero — repair leaves
+    /// every bit it does not resolve byte-identical to invalidation.
+    pub audit_divergent: usize,
+    /// Auditor activity summed over the repair-mode instance's passes.
+    pub audit_total: AuditReport,
+    /// Validity bits the repair instance spliced to a changed value.
+    pub repairs_applied: u64,
+    /// Validity bits the repair instance preserved where invalidation
+    /// would have discarded them.
+    pub invalidations_avoided: u64,
+    /// Would-repair bits surrendered to invalidation when the per-pass
+    /// test budget ran dry.
+    pub repair_fallbacks: u64,
+    /// Wall-clock nanoseconds the repair instance spent in the `repair`
+    /// pipeline stage (the maintenance-time cost of delta repair).
+    pub repair_nanos: u64,
+    /// The invalidate-mode oracle's repair counters — all three must stay
+    /// zero (the mode flag actually disables the repair path).
+    pub oracle_repair_activity: u64,
+    /// Panics contained by the repair-mode instance.
+    pub panics_repair: u64,
+    /// Panics contained by the invalidate-mode instance (must equal the
+    /// repair-mode count — the plan fires at the same stream points).
+    pub panics_oracle: u64,
+    /// Entries left quarantined after the final audit, per side. Both
+    /// must be zero.
+    pub quarantined_repair: usize,
+    /// See [`RepairDiffCell::quarantined_repair`].
+    pub quarantined_oracle: usize,
+}
+
+impl RepairDiffCell {
+    /// Did the two maintenance modes stay observationally equivalent?
+    pub fn passed(&self) -> bool {
+        self.divergent == 0
+            && self.audit_divergent == 0
+            && self.oracle_repair_activity == 0
+            && self.panics_repair == self.panics_oracle
+            && self.quarantined_repair == 0
+            && self.quarantined_oracle == 0
+    }
+}
+
+/// Aggregated result of one [`run_repair_diff`] invocation.
+#[derive(Debug, Clone)]
+pub struct RepairDiffReport {
+    /// The injected plan, in its compact string form.
+    pub fault_plan: String,
+    /// The per-query deadline, milliseconds.
+    pub deadline_ms: u64,
+    /// One verdict per workload.
+    pub cells: Vec<RepairDiffCell>,
+}
+
+impl RepairDiffReport {
+    /// `true` iff every workload stayed divergence-free.
+    pub fn passed(&self) -> bool {
+        self.cells.iter().all(RepairDiffCell::passed)
+    }
+
+    /// Validity bits preserved across the whole suite — the headline the
+    /// CI gate requires to be nonzero (a diff that never repairs anything
+    /// proves nothing).
+    pub fn total_invalidations_avoided(&self) -> u64 {
+        self.cells.iter().map(|c| c.invalidations_avoided).sum()
+    }
+
+    /// Hand-rolled JSON (the artifact uploaded by CI's chaos smoke job).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"fault_plan\": \"{}\",\n", self.fault_plan));
+        out.push_str(&format!("  \"deadline_ms\": {},\n", self.deadline_ms));
+        out.push_str(&format!("  \"passed\": {},\n", self.passed()));
+        out.push_str(&format!(
+            "  \"total_invalidations_avoided\": {},\n",
+            self.total_invalidations_avoided()
+        ));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"queries\": {}, \"updates\": {}, \
+                 \"exact\": {}, \"degraded\": {}, \"divergent\": {}, \
+                 \"audit_passes\": {}, \"audit_divergent\": {}, \
+                 \"audit_repaired\": {}, \"repairs_applied\": {}, \
+                 \"invalidations_avoided\": {}, \"repair_fallbacks\": {}, \
+                 \"repair_nanos\": {}, \
+                 \"panics_repair\": {}, \"panics_oracle\": {}, \
+                 \"quarantined_repair\": {}, \"quarantined_oracle\": {}}}{}\n",
+                c.workload,
+                c.queries,
+                c.updates,
+                c.exact,
+                c.degraded,
+                c.divergent,
+                c.audit_passes,
+                c.audit_divergent,
+                c.audit_total.repaired,
+                c.repairs_applied,
+                c.invalidations_avoided,
+                c.repair_fallbacks,
+                c.repair_nanos,
+                c.panics_repair,
+                c.panics_oracle,
+                c.quarantined_repair,
+                c.quarantined_oracle,
+                if i + 1 == self.cells.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Runs the maintenance-mode differential chaos suite: all six paper
+/// workloads, each replayed under the configured fault plan against
+/// **both** maintenance modes, failing on any answer or audit divergence.
+pub fn run_repair_diff(cfg: &ChaosConfig) -> RepairDiffReport {
+    let dataset = build_dataset(&cfg.scale);
+    let plan = build_plan(&cfg.scale);
+    let mut workloads = build_type_a_workloads(&dataset, &cfg.scale);
+    workloads.extend(build_type_b_workloads(&dataset, &cfg.scale));
+    let cells = with_quiet_panics(|| {
+        workloads
+            .iter()
+            .map(|w| run_repair_diff_cell(&dataset, w, &plan, cfg))
+            .collect()
+    });
+    RepairDiffReport {
+        fault_plan: cfg.fault_plan.to_string(),
+        deadline_ms: cfg.deadline.as_millis() as u64,
+        cells,
+    }
+}
+
+/// Replays one workload under the fault plan on a repair-mode and an
+/// invalidate-mode instance simultaneously, comparing every answer and
+/// every audit verdict between the two.
+pub fn run_repair_diff_cell(
+    dataset: &[LabeledGraph],
+    workload: &Workload,
+    plan: &ChangePlan,
+    cfg: &ChaosConfig,
+) -> RepairDiffCell {
+    // Eviction-free sizing for the same reason as the index diff: the
+    // maintenance mode legitimately changes entry benefit (a repaired
+    // entry keeps alleviating tests that an invalidated one re-earns),
+    // so under eviction pressure cache *composition* would diverge and
+    // void the audit-verdict comparison.
+    let base = GcConfig {
+        cache_capacity: workload.len() + 16,
+        window_capacity: 8,
+        budget: QueryBudget {
+            deadline: Some(cfg.deadline),
+            max_tests: None,
+        },
+        // tracing on: the cell reports the repair stage span as the
+        // maintenance-time cost of delta repair
+        trace: true,
+        ..GcConfig::default()
+    };
+    let mut repair = GraphCachePlus::new(
+        GcConfig {
+            maintenance: MaintenanceMode::Repair,
+            ..base
+        },
+        dataset.to_vec(),
+    );
+    let mut oracle = GraphCachePlus::new(
+        GcConfig {
+            maintenance: MaintenanceMode::Invalidate,
+            ..base
+        },
+        dataset.to_vec(),
+    );
+    repair.set_fault_injector(Arc::new(FaultInjector::new(cfg.fault_plan.clone())));
+    oracle.set_fault_injector(Arc::new(FaultInjector::new(cfg.fault_plan.clone())));
+
+    // The same concrete operations hit both instances, materialized once
+    // against the (identical) repair-mode store state.
+    let mut rng = StdRng::seed_from_u64(cfg.scale.seed ^ 0x6E9A_1D1F);
+    let mut next_batch = 0usize;
+
+    let mut cell = RepairDiffCell {
+        workload: workload.name.clone(),
+        queries: workload.len(),
+        updates: 0,
+        exact: 0,
+        degraded: 0,
+        divergent: 0,
+        audit_passes: 0,
+        audit_divergent: 0,
+        audit_total: AuditReport::default(),
+        repairs_applied: 0,
+        invalidations_avoided: 0,
+        repair_fallbacks: 0,
+        repair_nanos: 0,
+        oracle_repair_activity: 0,
+        panics_repair: 0,
+        panics_oracle: 0,
+        quarantined_repair: 0,
+        quarantined_oracle: 0,
+    };
+
+    let compare_audits = |cell: &mut RepairDiffCell,
+                          repair: &mut GraphCachePlus,
+                          oracle: &mut GraphCachePlus,
+                          seed: u64| {
+        cell.audit_passes += 1;
+        let ra = repair.audit(cfg.audit_rate, seed);
+        let rb = oracle.audit(cfg.audit_rate, seed);
+        if ra.sampled != rb.sampled
+            || ra.clean != rb.clean
+            || ra.repaired != rb.repaired
+            || ra.evicted != rb.evicted
+        {
+            cell.audit_divergent += 1;
+        }
+        add_audit(&mut cell.audit_total, ra);
+    };
+
+    for (i, q) in workload.queries.iter().enumerate() {
+        let mut burst = 0usize;
+        while next_batch < plan.batches.len() && plan.batches[next_batch].at_query <= i {
+            for planned in &plan.batches[next_batch].ops {
+                if let Some(op) = materialize_op(&mut rng, repair.store(), dataset, planned.op) {
+                    let a = repair.apply_isolated(op.clone());
+                    let b = oracle.apply_isolated(op);
+                    debug_assert_eq!(a.is_ok(), b.is_ok(), "materialized op valid on both");
+                    burst += 1;
+                }
+            }
+            next_batch += 1;
+        }
+        if burst > 0 {
+            cell.updates += burst;
+            // audit both sides with the same rate and seed right after the
+            // burst: injected corruption is caught *before* either mode's
+            // maintenance pass runs, so the verdicts must be identical
+            compare_audits(
+                &mut cell,
+                &mut repair,
+                &mut oracle,
+                cfg.scale.seed + i as u64,
+            );
+        }
+
+        let a = repair.execute_isolated(q, workload.kind);
+        let b = oracle.execute_isolated(q, workload.kind);
+        match (a.metrics.degraded.is_some(), b.metrics.degraded.is_some()) {
+            (false, false) => {
+                if a.answer == b.answer {
+                    cell.exact += 1;
+                } else {
+                    cell.divergent += 1;
+                }
+            }
+            (da, db) => {
+                // a degraded partial may miss answers but must never
+                // invent one the other (exact) side does not have
+                let sound_a = !da || db || a.answer.is_subset_of(&b.answer);
+                let sound_b = !db || da || b.answer.is_subset_of(&a.answer);
+                if sound_a && sound_b {
+                    cell.degraded += 1;
+                } else {
+                    cell.divergent += 1;
+                }
+            }
+        }
+    }
+
+    // final sweep: late corruption must drain from both sides identically
+    compare_audits(&mut cell, &mut repair, &mut oracle, cfg.scale.seed);
+    cell.quarantined_repair = repair.quarantined_entries();
+    cell.quarantined_oracle = oracle.quarantined_entries();
+    let rh = repair.health_snapshot();
+    let oh = oracle.health_snapshot();
+    cell.panics_repair = rh.panics_recovered;
+    cell.panics_oracle = oh.panics_recovered;
+    cell.repairs_applied = rh.repairs_applied;
+    cell.invalidations_avoided = rh.invalidations_avoided;
+    cell.repair_fallbacks = rh.repair_fallbacks;
+    cell.repair_nanos = repair.stage_totals().get(Stage::Repair);
+    cell.oracle_repair_activity =
+        oh.repairs_applied + oh.invalidations_avoided + oh.repair_fallbacks;
+    cell
+}
+
 /// Stage-span totals as a compact JSON object (`{"prefilter": ns, ...}`).
 pub(crate) fn spans_json(spans: &StageSpans) -> String {
     let fields: Vec<String> = spans
@@ -790,6 +1103,43 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"passed\": true"));
         assert!(json.contains("\"audit_divergent\": 0"));
+        assert!(!json.contains(",\n  ]"), "no trailing comma");
+    }
+
+    #[test]
+    fn repair_diff_suite_passes_under_builtin_faults() {
+        let cfg = tiny_chaos_config();
+        let report = run_repair_diff(&cfg);
+        assert_eq!(report.cells.len(), 6, "three Type A + three Type B");
+        for c in &report.cells {
+            assert_eq!(c.divergent, 0, "answer divergence in {}", c.workload);
+            assert_eq!(c.audit_divergent, 0, "audit divergence in {}", c.workload);
+            assert_eq!(
+                c.oracle_repair_activity, 0,
+                "invalidate mode ran the repair path in {}",
+                c.workload
+            );
+            assert_eq!(c.panics_repair, c.panics_oracle, "{}", c.workload);
+            assert_eq!(c.quarantined_repair, 0, "{}", c.workload);
+            assert_eq!(c.queries, 60);
+        }
+        assert!(report.passed());
+        // the diff is vacuous unless the repair path actually preserved
+        // entries invalidation would have discarded
+        assert!(
+            report.total_invalidations_avoided() > 0,
+            "repair mode never avoided an invalidation"
+        );
+        // the plan's panics actually fired on both sides of the diff
+        let panics: u64 = report.cells.iter().map(|c| c.panics_repair).sum();
+        assert!(panics > 0, "fault plan injected no panics");
+        // the injected corruption was caught (identically, per cell above)
+        let repaired: usize = report.cells.iter().map(|c| c.audit_total.repaired).sum();
+        assert!(repaired > 0, "injected corruption was never caught");
+        let json = report.to_json();
+        assert!(json.contains("\"passed\": true"));
+        assert!(json.contains("\"total_invalidations_avoided\""));
+        assert!(json.contains("\"repair_fallbacks\""));
         assert!(!json.contains(",\n  ]"), "no trailing comma");
     }
 

@@ -31,7 +31,8 @@ use gc_subiso::{Algorithm, MethodM};
 use gc_workload::{generate_type_a, generate_type_b, TypeAConfig, TypeBConfig, Workload};
 
 pub use chaos::{
-    run_chaos, run_index_diff, ChaosCell, ChaosConfig, ChaosReport, IndexDiffCell, IndexDiffReport,
+    run_chaos, run_index_diff, run_repair_diff, ChaosCell, ChaosConfig, ChaosReport, IndexDiffCell,
+    IndexDiffReport, RepairDiffCell, RepairDiffReport,
 };
 pub use netchaos::{run_net_chaos, NetChaosConfig, NetChaosReport, StormTally};
 pub use report::Table;

@@ -121,6 +121,37 @@ impl std::fmt::Display for CandidateSource {
     }
 }
 
+/// How the CON maintenance pass treats a cached entry whose relation
+/// towards a touched dataset graph can no longer be proven intact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MaintenanceMode {
+    /// Delta-repair: classify every (entry, touched graph) as Unaffected
+    /// (Algorithm 2 keeps the bit), LocalRepair (the single answer bit is
+    /// spliced back to ground truth — by signature disproof or one bounded
+    /// SI test — and validity is *kept*), or Invalidate (fallback:
+    /// validity bit cleared exactly as in the paper). The default.
+    Repair,
+    /// The paper's behavior: clear the validity bit and let the next query
+    /// that needs the graph recompute it (kept by [`GcConfig::paper`]).
+    Invalidate,
+}
+
+impl MaintenanceMode {
+    /// Display name used in experiment tables and env parsing.
+    pub fn name(self) -> &'static str {
+        match self {
+            MaintenanceMode::Repair => "repair",
+            MaintenanceMode::Invalidate => "invalidate",
+        }
+    }
+}
+
+impl std::fmt::Display for MaintenanceMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Full GC+ configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct GcConfig {
@@ -142,6 +173,19 @@ pub struct GcConfig {
     /// architecture) or a full live-dataset scan (the paper-faithful
     /// setting, kept by [`GcConfig::paper`]).
     pub candidate_source: CandidateSource,
+    /// How CON maintenance treats entries a delta may have affected:
+    /// delta-repair in place (the default) or paper-faithful invalidation
+    /// (kept by [`GcConfig::paper`]).
+    pub maintenance: MaintenanceMode,
+    /// Per-maintenance-pass cap on bounded single-bit SI recomputations the
+    /// repair path may run; once exhausted, remaining affected bits fall
+    /// back to invalidation (counted as `repair_fallbacks`).
+    pub repair_test_budget: u64,
+    /// Entry time-to-live in logical clock ticks (queries + update bursts).
+    /// `0` disables the trigger. When set, entries whose last contribution
+    /// is older than this are evicted on the next admission sweep
+    /// regardless of replacement score.
+    pub entry_ttl: u64,
     /// Worker threads for probing cached queries during hit discovery
     /// (`1` = sequential). The probe results are merged in entry order, so
     /// hit lists and metrics are identical at any setting; worth raising
@@ -182,6 +226,9 @@ impl Default for GcConfig {
             method: MethodM::parallel(Algorithm::Vf2, default_parallelism()),
             internal_matcher: Algorithm::Vf2Plus,
             candidate_source: CandidateSource::LabelIndex,
+            maintenance: MaintenanceMode::Repair,
+            repair_test_budget: 256,
+            entry_ttl: 0,
             probe_parallelism: default_parallelism(),
             budget: QueryBudget::UNLIMITED,
             shards: 1,
@@ -205,6 +252,7 @@ impl GcConfig {
             method: MethodM::new(method),
             probe_parallelism: 1,
             candidate_source: CandidateSource::LiveScan,
+            maintenance: MaintenanceMode::Invalidate,
             ..GcConfig::default()
         }
     }
@@ -220,6 +268,10 @@ impl GcConfig {
     /// | `GC_METRICS`      | `metrics`      | `1`/`true` or `0`/`false`      |
     /// | `GC_TRACE`        | `trace`        | `1`/`true` or `0`/`false`      |
     /// | `GC_CANDIDATE_SOURCE` | `candidate_source` | `index` or `scan`  |
+    /// | `GC_MAINTENANCE`  | `maintenance`  | `repair` or `invalidate`       |
+    /// | `GC_TTL`          | `entry_ttl`    | logical ticks, `0` = off       |
+    /// | `GC_CACHE_CAPACITY` | `cache_capacity` | clamped to ≥ 1           |
+    /// | `GC_WINDOW_CAPACITY` | `window_capacity` | clamped to ≥ 1         |
     ///
     /// Unset variables keep their defaults; set-but-malformed values are a
     /// deployment bug and return an error naming the offending variable.
@@ -268,6 +320,22 @@ impl GcConfig {
                 "scan" => CandidateSource::LiveScan,
                 _ => return Err(format!("GC_CANDIDATE_SOURCE: invalid value '{raw}'")),
             };
+        }
+        if let Some(raw) = get("GC_MAINTENANCE") {
+            cfg.maintenance = match raw.trim() {
+                "repair" => MaintenanceMode::Repair,
+                "invalidate" => MaintenanceMode::Invalidate,
+                _ => return Err(format!("GC_MAINTENANCE: invalid value '{raw}'")),
+            };
+        }
+        if let Some(raw) = get("GC_TTL") {
+            cfg.entry_ttl = parse("GC_TTL", &raw)?;
+        }
+        if let Some(raw) = get("GC_CACHE_CAPACITY") {
+            cfg.cache_capacity = parse::<usize>("GC_CACHE_CAPACITY", &raw)?.max(1);
+        }
+        if let Some(raw) = get("GC_WINDOW_CAPACITY") {
+            cfg.window_capacity = parse::<usize>("GC_WINDOW_CAPACITY", &raw)?.max(1);
         }
         Ok(cfg)
     }
@@ -418,6 +486,53 @@ mod tests {
             CandidateSource::LiveScan,
             "paper timings use the paper's full scan"
         );
+    }
+
+    #[test]
+    fn env_maintenance_mode_parses_and_rejects_garbage() {
+        let c = GcConfig::from_env_with(|_| None).unwrap();
+        assert_eq!(c.maintenance, MaintenanceMode::Repair, "repair is default");
+        let c = GcConfig::from_env_with(|k| (k == "GC_MAINTENANCE").then(|| "invalidate".into()))
+            .unwrap();
+        assert_eq!(c.maintenance, MaintenanceMode::Invalidate);
+        let c = GcConfig::from_env_with(|k| (k == "GC_MAINTENANCE").then(|| " repair ".into()))
+            .unwrap();
+        assert_eq!(c.maintenance, MaintenanceMode::Repair);
+        let err = GcConfig::from_env_with(|k| (k == "GC_MAINTENANCE").then(|| "evict".into()))
+            .unwrap_err();
+        assert!(err.contains("GC_MAINTENANCE"), "{err}");
+        assert_eq!(MaintenanceMode::Repair.to_string(), "repair");
+        assert_eq!(MaintenanceMode::Invalidate.to_string(), "invalidate");
+        // the paper constructor keeps the paper's invalidation behavior
+        let p = GcConfig::paper(Algorithm::Vf2, CacheModel::Con);
+        assert_eq!(p.maintenance, MaintenanceMode::Invalidate);
+    }
+
+    #[test]
+    fn env_ttl_and_capacity_overrides() {
+        let c = GcConfig::from_env_with(|_| None).unwrap();
+        assert_eq!(c.entry_ttl, 0, "TTL trigger is off by default");
+        let c = GcConfig::from_env_with(|k| match k {
+            "GC_TTL" => Some("500".into()),
+            "GC_CACHE_CAPACITY" => Some("7".into()),
+            "GC_WINDOW_CAPACITY" => Some("3".into()),
+            _ => None,
+        })
+        .unwrap();
+        assert_eq!(c.entry_ttl, 500);
+        assert_eq!(c.cache_capacity, 7);
+        assert_eq!(c.window_capacity, 3);
+        // degenerate capacities clamp to 1, malformed TTL names the var
+        let c = GcConfig::from_env_with(|k| match k {
+            "GC_CACHE_CAPACITY" => Some("0".into()),
+            "GC_WINDOW_CAPACITY" => Some("0".into()),
+            _ => None,
+        })
+        .unwrap();
+        assert_eq!(c.cache_capacity, 1);
+        assert_eq!(c.window_capacity, 1);
+        let err = GcConfig::from_env_with(|k| (k == "GC_TTL").then(|| "soon".into())).unwrap_err();
+        assert!(err.contains("GC_TTL"), "{err}");
     }
 
     #[test]

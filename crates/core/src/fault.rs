@@ -393,6 +393,15 @@ pub struct HealthSnapshot {
     /// Queries (per shard) served by cache-less `baseline_execute` because
     /// the owning shard was marked unhealthy.
     pub baseline_served: u64,
+    /// Answer bits the delta-repair maintenance pass spliced back to
+    /// ground truth in place.
+    pub repairs_applied: u64,
+    /// Validity bits preserved that invalidate-mode maintenance would have
+    /// cleared.
+    pub invalidations_avoided: u64,
+    /// Affected bits the repair path invalidated after exhausting its
+    /// per-pass test budget.
+    pub repair_fallbacks: u64,
 }
 
 /// Lock-free runtime health counters, shared via `Arc` between the cache,
@@ -407,6 +416,9 @@ pub struct RuntimeHealth {
     load_shed: AtomicU64,
     shard_failovers: AtomicU64,
     baseline_served: AtomicU64,
+    repairs_applied: AtomicU64,
+    invalidations_avoided: AtomicU64,
+    repair_fallbacks: AtomicU64,
 }
 
 impl RuntimeHealth {
@@ -451,6 +463,23 @@ impl RuntimeHealth {
         self.baseline_served.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` answer bits delta-repaired in place by maintenance.
+    pub fn add_repairs_applied(&self, n: u64) {
+        self.repairs_applied.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` validity bits preserved that invalidation would have
+    /// cleared.
+    pub fn add_invalidations_avoided(&self, n: u64) {
+        self.invalidations_avoided.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` repair-budget exhaustions that fell back to
+    /// invalidation.
+    pub fn add_repair_fallbacks(&self, n: u64) {
+        self.repair_fallbacks.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// A consistent-enough snapshot (individual counters are exact; the
     /// set is not read atomically, which observers do not need).
     pub fn snapshot(&self) -> HealthSnapshot {
@@ -463,6 +492,9 @@ impl RuntimeHealth {
             load_shed: self.load_shed.load(Ordering::Relaxed),
             shard_failovers: self.shard_failovers.load(Ordering::Relaxed),
             baseline_served: self.baseline_served.load(Ordering::Relaxed),
+            repairs_applied: self.repairs_applied.load(Ordering::Relaxed),
+            invalidations_avoided: self.invalidations_avoided.load(Ordering::Relaxed),
+            repair_fallbacks: self.repair_fallbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -479,6 +511,9 @@ impl HealthSnapshot {
         self.load_shed += other.load_shed;
         self.shard_failovers += other.shard_failovers;
         self.baseline_served += other.baseline_served;
+        self.repairs_applied += other.repairs_applied;
+        self.invalidations_avoided += other.invalidations_avoided;
+        self.repair_fallbacks += other.repair_fallbacks;
     }
 }
 
@@ -679,6 +714,9 @@ mod tests {
         h.add_load_shed();
         h.add_shard_failover();
         h.add_baseline_served(5);
+        h.add_repairs_applied(6);
+        h.add_invalidations_avoided(7);
+        h.add_repair_fallbacks(8);
         let s = h.snapshot();
         assert_eq!(s.panics_recovered, 2);
         assert_eq!(s.quarantined_entries, 3);
@@ -688,6 +726,9 @@ mod tests {
         assert_eq!(s.load_shed, 2);
         assert_eq!(s.shard_failovers, 1);
         assert_eq!(s.baseline_served, 5);
+        assert_eq!(s.repairs_applied, 6);
+        assert_eq!(s.invalidations_avoided, 7);
+        assert_eq!(s.repair_fallbacks, 8);
     }
 
     #[test]
@@ -699,6 +740,8 @@ mod tests {
         b.add_panics_recovered(2);
         b.add_shard_failover();
         b.add_baseline_served(3);
+        b.add_repairs_applied(4);
+        b.add_invalidations_avoided(9);
         let mut s = a.snapshot();
         s.merge(&b.snapshot());
         assert_eq!(s.panics_recovered, 3);
@@ -706,5 +749,8 @@ mod tests {
         assert_eq!(s.shard_failovers, 1);
         assert_eq!(s.baseline_served, 3);
         assert_eq!(s.degraded_queries, 0);
+        assert_eq!(s.repairs_applied, 4);
+        assert_eq!(s.invalidations_avoided, 9);
+        assert_eq!(s.repair_fallbacks, 0);
     }
 }

@@ -57,7 +57,7 @@ pub mod validator;
 pub mod window;
 
 pub use concurrent::ConcurrentGraphCache;
-pub use config::{CacheModel, CandidateSource, GcConfig, Policy};
+pub use config::{CacheModel, CandidateSource, GcConfig, MaintenanceMode, Policy};
 pub use fault::{
     Fault, FaultInjector, FaultPlan, HealthSnapshot, QueryBudget, RequestDirective, RuntimeHealth,
 };
@@ -66,3 +66,4 @@ pub use sharded::{
     RoutedOutcome, ShardStats, ShardStatsSnapshot, ShardedGraphCache, PANIC_FAILOVER_THRESHOLD,
 };
 pub use system::{baseline_execute, AuditReport, GraphCachePlus, QueryOutcome};
+pub use validator::MaintenanceOutcome;

@@ -74,6 +74,15 @@ pub struct QueryMetrics {
     pub degraded: Option<Interrupt>,
     /// Worker panics contained while executing this query.
     pub panics_recovered: u64,
+    /// Answer bits the maintenance pass spliced back to ground truth in
+    /// place (delta repair) during this query's consistency refresh.
+    pub repairs_applied: u64,
+    /// Validity bits preserved that invalidate-mode maintenance would have
+    /// cleared — the recomputations the repair path avoided.
+    pub invalidations_avoided: u64,
+    /// Affected bits the repair path had to invalidate after all because
+    /// its per-pass test budget was exhausted.
+    pub repair_fallbacks: u64,
     /// Per-stage pipeline wall time for this query. All-zero unless the
     /// system ran with [`GcConfig::trace`](crate::GcConfig::trace) on.
     pub spans: StageSpans,
@@ -113,6 +122,12 @@ pub struct AggregateMetrics {
     pub degraded_queries: u64,
     /// Worker panics contained across all recorded queries.
     pub panics_recovered: u64,
+    /// Total answer bits delta-repaired in place by maintenance.
+    pub repairs_applied: u64,
+    /// Total validity bits preserved that invalidation would have cleared.
+    pub invalidations_avoided: u64,
+    /// Total repair-budget exhaustions that fell back to invalidation.
+    pub repair_fallbacks: u64,
     /// Per-stage pipeline wall time summed over all recorded queries
     /// (all-zero when tracing is off).
     pub span_totals: StageSpans,
@@ -146,6 +161,9 @@ impl AggregateMetrics {
             self.degraded_queries += 1;
         }
         self.panics_recovered += m.panics_recovered;
+        self.repairs_applied += m.repairs_applied;
+        self.invalidations_avoided += m.invalidations_avoided;
+        self.repair_fallbacks += m.repair_fallbacks;
         self.span_totals.merge(&m.spans);
     }
 
@@ -255,6 +273,20 @@ mod tests {
         agg.record(&metrics(1, 1, 1));
         assert_eq!(agg.degraded_queries, 1);
         assert_eq!(agg.panics_recovered, 2);
+    }
+
+    #[test]
+    fn maintenance_counters_fold() {
+        let mut agg = AggregateMetrics::default();
+        let mut m = metrics(2, 1, 1);
+        m.repairs_applied = 3;
+        m.invalidations_avoided = 5;
+        m.repair_fallbacks = 1;
+        agg.record(&m);
+        agg.record(&m);
+        assert_eq!(agg.repairs_applied, 6);
+        assert_eq!(agg.invalidations_avoided, 10);
+        assert_eq!(agg.repair_fallbacks, 2);
     }
 
     #[test]

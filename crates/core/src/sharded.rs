@@ -369,6 +369,9 @@ impl ShardedGraphCache {
             metrics.overhead_time += out.metrics.overhead_time;
             metrics.validation_time += out.metrics.validation_time;
             metrics.panics_recovered += out.metrics.panics_recovered;
+            metrics.repairs_applied += out.metrics.repairs_applied;
+            metrics.invalidations_avoided += out.metrics.invalidations_avoided;
+            metrics.repair_fallbacks += out.metrics.repair_fallbacks;
             metrics.spans.merge(&out.metrics.spans);
             // every executed query counts exactly once per shard — the
             // invariant a stats scrape reconciles against a request ledger
@@ -469,6 +472,23 @@ impl ShardedGraphCache {
                 shed: stats.shed.get(),
             })
             .collect()
+    }
+
+    /// Folded label-index gauges across shards: `(resident bytes,
+    /// non-empty syncs, cumulative sync nanoseconds)`. All zero when the
+    /// candidate source is the linear scan.
+    pub fn index_stats(&self) -> (u64, u64, u64) {
+        let mut bytes = 0u64;
+        let mut syncs = 0u64;
+        let mut nanos = 0u64;
+        for s in &self.shards {
+            if let Some(idx) = s.label_index() {
+                bytes += idx.memory_bytes();
+                syncs += idx.syncs();
+                nanos += idx.sync_nanos();
+            }
+        }
+        (bytes, syncs, nanos)
     }
 
     /// Pipeline-stage wall time summed across all shards (all-zero unless

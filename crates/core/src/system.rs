@@ -55,15 +55,27 @@ use gc_subiso::{Interrupt, QueryKind};
 use gc_telemetry::{Stage, StageSpans};
 
 use crate::cache::CacheManager;
-use crate::config::{CacheModel, CandidateSource, GcConfig};
+use crate::config::{CacheModel, CandidateSource, GcConfig, MaintenanceMode};
 use crate::entry::CachedQuery;
 use crate::fault::{FaultInjector, HealthSnapshot, QueryBudget, RuntimeHealth};
 use crate::metrics::{AggregateMetrics, HitBreakdown, QueryMetrics};
+use crate::policy;
 use crate::processor::{discover_hits_budgeted, EntryRef};
 use crate::pruner::{prune, Shortcut};
 pub use crate::runtime::{baseline_execute, QueryOutcome};
-use crate::validator;
+use crate::validator::{self, MaintenanceOutcome};
 use crate::window::Window;
+
+/// Everything one consistency-maintenance pass reports back: its wall
+/// time, the CON-specific share, the delta-repair tally, and the repair
+/// span's nanoseconds (nonzero only when tracing a repair-mode pass).
+#[derive(Debug, Clone, Copy, Default)]
+struct MaintenanceResult {
+    overhead: Duration,
+    validation_time: Duration,
+    outcome: MaintenanceOutcome,
+    repair_nanos: u64,
+}
 
 /// What one [`GraphCachePlus::audit`] pass did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -270,15 +282,28 @@ impl GraphCachePlus {
         self.stage_totals = StageSpans::default();
     }
 
-    /// Step 1 of the pipeline: consistency maintenance. Shared by query
-    /// execution and the auditor (which must refresh validity bits before
-    /// judging an entry's claims). Returns `(overhead, validation_time)`;
-    /// idempotent when the log has not moved.
-    fn maintain_consistency(&mut self) -> (Duration, Duration) {
-        let mut overhead = Duration::ZERO;
-        let mut validation_time = Duration::ZERO;
+    /// Step 1 of the pipeline: the delta-impact maintenance pass. Shared
+    /// by query execution and the auditor (which must refresh validity
+    /// bits before judging an entry's claims). Idempotent when the log has
+    /// not moved.
+    ///
+    /// Under [`MaintenanceMode::Invalidate`] this is the paper's behavior:
+    /// EVI purges, CON/CON-R clear every validity bit Algorithm 2 cannot
+    /// prove intact. Under [`MaintenanceMode::Repair`] the same keep
+    /// decision instead classifies each (entry, touched graph) pair as
+    /// Unaffected / LocalRepair / Invalidate (see
+    /// [`validator::refresh_entry_repair`]), splicing affected answer bits
+    /// back to ground truth in place where the per-pass test budget allows.
+    /// The tally lands in the returned [`MaintenanceResult`] and the shared
+    /// health counters.
+    fn maintain_consistency(&mut self) -> MaintenanceResult {
+        let mut res = MaintenanceResult::default();
         if self.log.changed_since(self.cursor) {
             let t = Instant::now();
+            let repair = self.config.maintenance == MaintenanceMode::Repair
+                && self.config.model != CacheModel::Evi;
+            let matcher = self.config.internal_matcher;
+            let mut budget = self.config.repair_test_budget;
             match self.config.model {
                 CacheModel::Evi => {
                     self.cache.clear();
@@ -286,26 +311,76 @@ impl GraphCachePlus {
                 }
                 CacheModel::Con => {
                     let counters = LogAnalyzer::analyze(self.log.records_since(self.cursor));
-                    let span = self.store.id_span();
-                    validator::refresh_all(self.cache.iter_mut(), &counters, span);
-                    validator::refresh_all(self.window.iter_mut(), &counters, span);
+                    if repair {
+                        let mut out = validator::refresh_all_repair(
+                            self.cache.iter_mut(),
+                            &counters,
+                            &self.store,
+                            matcher,
+                            &mut budget,
+                        );
+                        out.merge(&validator::refresh_all_repair(
+                            self.window.iter_mut(),
+                            &counters,
+                            &self.store,
+                            matcher,
+                            &mut budget,
+                        ));
+                        res.outcome = out;
+                    } else {
+                        let span = self.store.id_span();
+                        validator::refresh_all(self.cache.iter_mut(), &counters, span);
+                        validator::refresh_all(self.window.iter_mut(), &counters, span);
+                    }
                 }
                 CacheModel::ConRetro => {
                     let effects =
                         gc_dataset::RetroAnalyzer::analyze(self.log.records_since(self.cursor));
-                    let span = self.store.id_span();
-                    validator::refresh_all_retro(self.cache.iter_mut(), &effects, span);
-                    validator::refresh_all_retro(self.window.iter_mut(), &effects, span);
+                    if repair {
+                        let mut out = validator::refresh_all_repair_retro(
+                            self.cache.iter_mut(),
+                            &effects,
+                            &self.store,
+                            matcher,
+                            &mut budget,
+                        );
+                        out.merge(&validator::refresh_all_repair_retro(
+                            self.window.iter_mut(),
+                            &effects,
+                            &self.store,
+                            matcher,
+                            &mut budget,
+                        ));
+                        res.outcome = out;
+                    } else {
+                        let span = self.store.id_span();
+                        validator::refresh_all_retro(self.cache.iter_mut(), &effects, span);
+                        validator::refresh_all_retro(self.window.iter_mut(), &effects, span);
+                    }
                 }
             }
             self.cursor = self.log.head();
             let elapsed = t.elapsed();
             if self.config.model != CacheModel::Evi {
-                validation_time = elapsed;
+                res.validation_time = elapsed;
             }
-            overhead += elapsed;
+            res.overhead = elapsed;
+            if repair && self.config.trace {
+                res.repair_nanos = elapsed.as_nanos() as u64;
+            }
+            let o = &res.outcome;
+            if o.repairs_applied > 0 {
+                self.health.add_repairs_applied(o.repairs_applied);
+            }
+            if o.invalidations_avoided > 0 {
+                self.health
+                    .add_invalidations_avoided(o.invalidations_avoided);
+            }
+            if o.repair_fallbacks > 0 {
+                self.health.add_repair_fallbacks(o.repair_fallbacks);
+            }
         }
-        (overhead, validation_time)
+        res
     }
 
     /// Executes a query through the full GC+ pipeline under the
@@ -334,12 +409,17 @@ impl GraphCachePlus {
         let now = self.clock;
 
         // ---- step 1: consistency maintenance (overhead) ----
-        let (mut overhead, validation_time) = self.maintain_consistency();
+        let maintenance = self.maintain_consistency();
+        let mut overhead = maintenance.overhead;
+        let validation_time = maintenance.validation_time;
 
         // ---- steps 2-4: query execution (query time) ----
         let t_query = Instant::now();
         let trace = self.config.trace;
         let mut spans = StageSpans::default();
+        if maintenance.repair_nanos > 0 {
+            spans.record(Stage::Repair, maintenance.repair_nanos);
+        }
         // CS_M: the postings index's output (the default) or the whole
         // live dataset (the paper's SI-method deployment). Both are sound
         // supersets of the answer set; the pruner's optimal-case checks
@@ -458,6 +538,12 @@ impl GraphCachePlus {
                 self.cache.admit_batch(batch);
             }
         }
+        // TTL trigger: entries idle past the configured tick budget leave
+        // on the admission sweep, independent of the capacity trigger
+        if self.config.entry_ttl > 0 {
+            let ttl = self.config.entry_ttl;
+            self.cache.evict_where(|e| policy::expired(e, now, ttl));
+        }
         let admit_elapsed = t_admit.elapsed();
         overhead += admit_elapsed;
         if trace {
@@ -487,6 +573,9 @@ impl GraphCachePlus {
             },
             degraded,
             panics_recovered,
+            repairs_applied: maintenance.outcome.repairs_applied,
+            invalidations_avoided: maintenance.outcome.invalidations_avoided,
+            repair_fallbacks: maintenance.outcome.repair_fallbacks,
             spans,
         };
         self.aggregate.record(&metrics);
@@ -600,7 +689,11 @@ impl GraphCachePlus {
     /// flags corruption the consistency machinery cannot see.
     pub fn audit_with(&mut self, sample_rate: f64, seed: u64, repair: bool) -> AuditReport {
         let t_audit = self.config.trace.then(Instant::now);
-        self.maintain_consistency();
+        let maintenance = self.maintain_consistency();
+        if maintenance.repair_nanos > 0 {
+            self.stage_totals
+                .record(Stage::Repair, maintenance.repair_nanos);
+        }
         let mut report = AuditReport::default();
         let live = self.store.live_bitset();
         let span = self.store.id_span();
@@ -772,6 +865,86 @@ mod tests {
             out.answer.iter_ones().collect::<Vec<_>>(),
             vec![0, 1, 2, 4],
             "new graph 4 contains a 0-0 edge"
+        );
+    }
+
+    #[test]
+    fn repair_mode_preserves_entries_a_ur_would_invalidate() {
+        let mut gc = GraphCachePlus::new(config(), dataset());
+        let q = g(vec![0, 0], &[(0, 1)]);
+        gc.execute(&q, QueryKind::Subgraph);
+        // UR an edge of triangle 0: Algorithm 2 would invalidate its bit
+        // (UR-exclusive on an answered graph), but graph 0 still contains
+        // a 0-0 edge — the repair pass proves it and keeps the knowledge
+        gc.apply(ChangeOp::Ur { id: 0, u: 0, v: 1 }).unwrap();
+        let out = gc.execute(&q, QueryKind::Subgraph);
+        assert_eq!(out.answer.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert!(out.metrics.invalidations_avoided > 0);
+        assert_eq!(out.metrics.repairs_applied, 0, "bit value was already true");
+        assert_eq!(out.metrics.repair_fallbacks, 0);
+        assert!(
+            out.metrics.hits.exact_shortcut,
+            "the repaired entry serves the repeat exactly"
+        );
+        assert!(gc.aggregate_metrics().invalidations_avoided > 0);
+    }
+
+    #[test]
+    fn repair_mode_splices_a_changed_bit_to_ground_truth() {
+        let mut gc = GraphCachePlus::new(config(), dataset());
+        let tri = g(vec![0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
+        let first = gc.execute(&tri, QueryKind::Subgraph);
+        assert_eq!(first.answer.iter_ones().collect::<Vec<_>>(), vec![0]);
+        // break graph 0's triangle: the cached bit is now stale; repair
+        // flips it in place instead of discarding the entry
+        gc.apply(ChangeOp::Ur { id: 0, u: 0, v: 1 }).unwrap();
+        let out = gc.execute(&tri, QueryKind::Subgraph);
+        assert!(out.answer.is_empty(), "no live graph contains a triangle");
+        assert_eq!(out.metrics.repairs_applied, 1);
+        assert!(out.metrics.invalidations_avoided > 0);
+        assert!(
+            out.metrics.hits.exact_shortcut,
+            "the spliced entry still serves exactly"
+        );
+    }
+
+    #[test]
+    fn exhausted_repair_budget_falls_back_to_invalidation() {
+        let cfg = GcConfig {
+            repair_test_budget: 0,
+            ..config()
+        };
+        let mut gc = GraphCachePlus::new(cfg, dataset());
+        let q = g(vec![0, 0], &[(0, 1)]);
+        gc.execute(&q, QueryKind::Subgraph);
+        gc.apply(ChangeOp::Ur { id: 0, u: 0, v: 1 }).unwrap();
+        let out = gc.execute(&q, QueryKind::Subgraph);
+        // answers stay exact — the cleared bit is recomputed by the scan
+        assert_eq!(out.answer.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert!(out.metrics.repair_fallbacks > 0);
+        assert_eq!(out.metrics.invalidations_avoided, 0);
+    }
+
+    #[test]
+    fn ttl_trigger_expires_idle_entries() {
+        let cfg = GcConfig {
+            entry_ttl: 2,
+            window_capacity: 1, // entries reach the cache immediately
+            ..config()
+        };
+        let mut gc = GraphCachePlus::new(cfg, dataset());
+        gc.execute(&g(vec![1, 1], &[(0, 1)]), QueryKind::Subgraph);
+        assert_eq!(gc.occupancy(), (1, 0));
+        // three unrelated queries age the idle entry past its 2-tick ttl
+        for _ in 0..3 {
+            gc.execute(&g(vec![0, 0], &[(0, 1)]), QueryKind::Subgraph);
+        }
+        let (cache, _) = gc.occupancy();
+        assert_eq!(cache, 1, "only the live entry remains");
+        let out = gc.execute(&g(vec![1, 1], &[(0, 1)]), QueryKind::Subgraph);
+        assert!(
+            !out.metrics.hits.exact_match,
+            "the idle entry was expired by the ttl sweep"
         );
     }
 

@@ -26,10 +26,37 @@
 //! this dual "for space reason"; it is required for correctness as soon as
 //! supergraph queries are cached, and tests exercise it.
 
-use gc_dataset::{NetEffect, NetEffects, OpCounters};
-use gc_subiso::QueryKind;
+use gc_dataset::{GraphStore, NetEffect, NetEffects, OpCounters};
+use gc_subiso::{Algorithm, QueryKind};
 
 use crate::entry::CachedQuery;
+
+/// Tally of one delta-repair maintenance pass — the per-refresh record
+/// threaded into `QueryMetrics`, `AggregateMetrics` and `RuntimeHealth`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceOutcome {
+    /// Answer bits spliced back to ground truth in place (their stored
+    /// value actually changed).
+    pub repairs_applied: u64,
+    /// Validity bits preserved that invalidate-mode maintenance would have
+    /// cleared — each one is a recomputation the next query avoids.
+    pub invalidations_avoided: u64,
+    /// Affected bits invalidated after all because the per-pass repair
+    /// test budget was exhausted.
+    pub repair_fallbacks: u64,
+    /// Bounded single-bit SI tests the repair path executed.
+    pub repair_tests: u64,
+}
+
+impl MaintenanceOutcome {
+    /// Field-wise sum.
+    pub fn merge(&mut self, other: &MaintenanceOutcome) {
+        self.repairs_applied += other.repairs_applied;
+        self.invalidations_avoided += other.invalidations_avoided;
+        self.repair_fallbacks += other.repair_fallbacks;
+        self.repair_tests += other.repair_tests;
+    }
+}
 
 /// Refreshes one entry's `CGvalid` per Algorithm 2.
 ///
@@ -113,6 +140,186 @@ where
     for e in entries {
         refresh_entry_retro(e, effects, id_span);
     }
+}
+
+/// Delta-impact classification of one (entry, touched graph) pair, then
+/// action. This is the repair-mode core shared by the CON and CON-R
+/// variants; `keep` is the model's Algorithm-2 keep decision.
+///
+/// * **Unaffected** — `keep` is true: the bit is provably intact and is
+///   left strictly untouched (byte-identical to invalidate mode, so even a
+///   corrupted-but-kept bit stays comparable across modes);
+/// * **LocalRepair** — the bit would be invalidated, but the single
+///   affected answer bit is spliced back to ground truth in place: a
+///   signature disproof settles it for free, otherwise one bounded SI test
+///   recomputes it; validity is *kept* either way;
+/// * **Invalidate** — the graph is dead (its id can never re-enter a
+///   candidate set, so clearing is free), or the per-pass repair test
+///   budget ran dry (`repair_fallbacks`).
+fn repair_with_keep(
+    entry: &mut CachedQuery,
+    touched: impl Iterator<Item = usize>,
+    keep: impl Fn(&CachedQuery, usize) -> bool,
+    store: &GraphStore,
+    matcher: Algorithm,
+    budget: &mut u64,
+    outcome: &mut MaintenanceOutcome,
+) {
+    entry.cg_valid.extend_to(store.id_span());
+    for i in touched {
+        if !entry.cg_valid.get(i) {
+            continue; // already invalid; nothing to preserve
+        }
+        if keep(entry, i) {
+            continue; // Unaffected: Algorithm 2 proves the bit intact
+        }
+        let Some(graph) = store.get(i) else {
+            // deleted graph: clearing the bit is free and final
+            entry.cg_valid.set(i, false);
+            continue;
+        };
+        let disproved = match entry.kind {
+            QueryKind::Subgraph => !gc_subiso::filter::signature_may_contain(
+                entry.graph.signature(),
+                graph.signature(),
+            ),
+            QueryKind::Supergraph => !gc_subiso::filter::signature_may_contain(
+                graph.signature(),
+                entry.graph.signature(),
+            ),
+        };
+        let truth = if disproved {
+            false
+        } else if *budget > 0 {
+            *budget -= 1;
+            outcome.repair_tests += 1;
+            let m = matcher.matcher();
+            match entry.kind {
+                QueryKind::Subgraph => m.contains(&entry.graph, graph),
+                QueryKind::Supergraph => m.contains(graph, &entry.graph),
+            }
+        } else {
+            // budget dry: fall back to the paper's invalidation
+            entry.cg_valid.set(i, false);
+            outcome.repair_fallbacks += 1;
+            continue;
+        };
+        if entry.answer.get(i) != truth {
+            entry.answer.set(i, truth);
+            outcome.repairs_applied += 1;
+        }
+        outcome.invalidations_avoided += 1;
+    }
+}
+
+/// Repair-mode refresh of one entry under the CON model: Algorithm 2's
+/// keep decision classifies each touched graph, and bits Algorithm 2
+/// would have invalidated are delta-repaired in place where possible.
+/// Every surviving answer bit with a set validity bit equals ground truth,
+/// so query answers are bit-identical to invalidate-mode maintenance
+/// (gated by `experiments chaos --repair-diff`).
+pub fn refresh_entry_repair(
+    entry: &mut CachedQuery,
+    counters: &OpCounters,
+    store: &GraphStore,
+    matcher: Algorithm,
+    budget: &mut u64,
+    outcome: &mut MaintenanceOutcome,
+) {
+    let touched: Vec<usize> = counters.touched().collect();
+    repair_with_keep(
+        entry,
+        touched.into_iter(),
+        |e, i| {
+            let answered = e.answer.get(i);
+            match e.kind {
+                QueryKind::Subgraph => {
+                    (counters.ua_exclusive(i) && answered)
+                        || (counters.ur_exclusive(i) && !answered)
+                }
+                QueryKind::Supergraph => {
+                    (counters.ur_exclusive(i) && answered)
+                        || (counters.ua_exclusive(i) && !answered)
+                }
+            }
+        },
+        store,
+        matcher,
+        budget,
+        outcome,
+    );
+}
+
+/// Repair-mode refresh over a collection (CON model).
+pub fn refresh_all_repair<'a, I>(
+    entries: I,
+    counters: &OpCounters,
+    store: &GraphStore,
+    matcher: Algorithm,
+    budget: &mut u64,
+) -> MaintenanceOutcome
+where
+    I: IntoIterator<Item = &'a mut CachedQuery>,
+{
+    let mut outcome = MaintenanceOutcome::default();
+    for e in entries {
+        refresh_entry_repair(e, counters, store, matcher, budget, &mut outcome);
+    }
+    outcome
+}
+
+/// Repair-mode refresh of one entry under the CON-R model: the
+/// retrospective net-effect keep decision, with the same repair core.
+pub fn refresh_entry_repair_retro(
+    entry: &mut CachedQuery,
+    effects: &NetEffects,
+    store: &GraphStore,
+    matcher: Algorithm,
+    budget: &mut u64,
+    outcome: &mut MaintenanceOutcome,
+) {
+    let touched: Vec<usize> = effects.touched().collect();
+    repair_with_keep(
+        entry,
+        touched.into_iter(),
+        |e, i| {
+            let answered = e.answer.get(i);
+            match effects.get(i).expect("touched implies present") {
+                NetEffect::Neutral => true,
+                NetEffect::AddOnly => match e.kind {
+                    QueryKind::Subgraph => answered,
+                    QueryKind::Supergraph => !answered,
+                },
+                NetEffect::RemoveOnly => match e.kind {
+                    QueryKind::Subgraph => !answered,
+                    QueryKind::Supergraph => answered,
+                },
+                NetEffect::Invalidating => false,
+            }
+        },
+        store,
+        matcher,
+        budget,
+        outcome,
+    );
+}
+
+/// Repair-mode refresh over a collection (CON-R model).
+pub fn refresh_all_repair_retro<'a, I>(
+    entries: I,
+    effects: &NetEffects,
+    store: &GraphStore,
+    matcher: Algorithm,
+    budget: &mut u64,
+) -> MaintenanceOutcome
+where
+    I: IntoIterator<Item = &'a mut CachedQuery>,
+{
+    let mut outcome = MaintenanceOutcome::default();
+    for e in entries {
+        refresh_entry_repair_retro(e, effects, store, matcher, budget, &mut outcome);
+    }
+    outcome
 }
 
 #[cfg(test)]
@@ -290,6 +497,235 @@ mod tests {
         refresh_entry_retro(&mut e, &eff, 2);
         assert!(!e.cg_valid.get(0));
         assert!(e.cg_valid.get(1));
+    }
+
+    fn store_with(graphs: Vec<LabeledGraph>) -> GraphStore {
+        GraphStore::from_graphs(graphs)
+    }
+
+    fn path(n: usize) -> LabeledGraph {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        LabeledGraph::from_parts(vec![0; n], &edges).unwrap()
+    }
+
+    #[test]
+    fn repair_keeps_unaffected_bits_untouched() {
+        // UA-exclusive + positive answer: Algorithm 2 keeps — repair mode
+        // must leave the bit byte-identical even if it is (corruptly) wrong
+        let store = store_with(vec![path(2), path(3)]);
+        let mut e = entry(QueryKind::Subgraph, &[0, 1], 2);
+        let c = LogAnalyzer::analyze(&[rec(1, OpType::Ua)]);
+        let mut budget = 100;
+        let mut out = MaintenanceOutcome::default();
+        refresh_entry_repair(
+            &mut e,
+            &c,
+            &store,
+            Algorithm::Vf2Plus,
+            &mut budget,
+            &mut out,
+        );
+        assert!(e.cg_valid.get(1) && e.answer.get(1));
+        assert_eq!(out, MaintenanceOutcome::default(), "kept bits cost nothing");
+        assert_eq!(budget, 100);
+    }
+
+    #[test]
+    fn repair_recomputes_would_be_invalidated_bits() {
+        // entry: q = 2-path over store {G0: 2-path, G1: 3-path}; answer all.
+        // UR on G0 + positive answer → Algorithm 2 invalidates; repair mode
+        // recomputes the single bit (still true: q ⊆ G0) and keeps validity.
+        let store = store_with(vec![path(2), path(3)]);
+        let mut e = entry(QueryKind::Subgraph, &[0, 1], 2);
+        let c = LogAnalyzer::analyze(&[rec(0, OpType::Ur)]);
+        let mut invalidated = e.clone();
+        refresh_entry(&mut invalidated, &c, 2);
+        assert!(!invalidated.cg_valid.get(0), "invalidate mode clears");
+        let mut budget = 100;
+        let mut out = MaintenanceOutcome::default();
+        refresh_entry_repair(
+            &mut e,
+            &c,
+            &store,
+            Algorithm::Vf2Plus,
+            &mut budget,
+            &mut out,
+        );
+        assert!(e.cg_valid.get(0), "repair mode keeps validity");
+        assert!(e.answer.get(0), "q ⊆ G0 still holds");
+        assert_eq!(out.invalidations_avoided, 1);
+        assert_eq!(out.repairs_applied, 0, "bit already matched ground truth");
+        assert_eq!(out.repair_tests, 1);
+        assert_eq!(budget, 99);
+    }
+
+    #[test]
+    fn repair_splices_a_stale_bit_to_ground_truth() {
+        // q = 3-path cached as answering G0 (a 2-path — actually false).
+        // Mixed ops on G0 invalidate under Algorithm 2; repair recomputes
+        // the bit to its true value and counts the splice.
+        let store = store_with(vec![path(2)]);
+        let mut e = entry(QueryKind::Subgraph, &[0], 1);
+        e.graph = path(3);
+        let c = LogAnalyzer::analyze(&[rec(0, OpType::Ua), rec(0, OpType::Ur)]);
+        let mut budget = 100;
+        let mut out = MaintenanceOutcome::default();
+        refresh_entry_repair(
+            &mut e,
+            &c,
+            &store,
+            Algorithm::Vf2Plus,
+            &mut budget,
+            &mut out,
+        );
+        assert!(e.cg_valid.get(0));
+        assert!(!e.answer.get(0), "3-path ⊄ 2-path");
+        assert_eq!(out.repairs_applied, 1);
+        assert_eq!(out.invalidations_avoided, 1);
+    }
+
+    #[test]
+    fn repair_signature_disproof_skips_the_si_test() {
+        // query bigger than the dataset graph: the signature filter proves
+        // q ⊄ G without running the matcher
+        let store = store_with(vec![path(2)]);
+        let mut e = entry(QueryKind::Subgraph, &[0], 1);
+        e.graph = path(5);
+        let c = LogAnalyzer::analyze(&[rec(0, OpType::Ua), rec(0, OpType::Ur)]);
+        let mut budget = 100;
+        let mut out = MaintenanceOutcome::default();
+        refresh_entry_repair(
+            &mut e,
+            &c,
+            &store,
+            Algorithm::Vf2Plus,
+            &mut budget,
+            &mut out,
+        );
+        assert!(e.cg_valid.get(0));
+        assert!(!e.answer.get(0));
+        assert_eq!(out.repair_tests, 0, "disproof is free");
+        assert_eq!(out.repairs_applied, 1);
+        assert_eq!(budget, 100);
+    }
+
+    #[test]
+    fn repair_budget_exhaustion_falls_back_to_invalidation() {
+        let store = store_with(vec![path(3), path(3)]);
+        let mut e = entry(QueryKind::Subgraph, &[], 2);
+        let c = LogAnalyzer::analyze(&[
+            rec(0, OpType::Ua),
+            rec(0, OpType::Ur),
+            rec(1, OpType::Ua),
+            rec(1, OpType::Ur),
+        ]);
+        let mut budget = 1;
+        let mut out = MaintenanceOutcome::default();
+        refresh_entry_repair(
+            &mut e,
+            &c,
+            &store,
+            Algorithm::Vf2Plus,
+            &mut budget,
+            &mut out,
+        );
+        assert_eq!(budget, 0);
+        assert_eq!(out.repair_fallbacks, 1, "one bit hit the dry budget");
+        assert_eq!(out.invalidations_avoided, 1, "the other was repaired");
+        assert_eq!(e.cg_valid.count_ones(), 1, "exactly one validity bit fell");
+    }
+
+    #[test]
+    fn repair_clears_deleted_graphs_like_invalidate() {
+        let store = {
+            let mut s = store_with(vec![path(2), path(3)]);
+            s.delete(0).unwrap();
+            s
+        };
+        let mut e = entry(QueryKind::Subgraph, &[0, 1], 2);
+        let c = LogAnalyzer::analyze(&[rec(0, OpType::Del)]);
+        let mut budget = 100;
+        let mut out = MaintenanceOutcome::default();
+        refresh_entry_repair(
+            &mut e,
+            &c,
+            &store,
+            Algorithm::Vf2Plus,
+            &mut budget,
+            &mut out,
+        );
+        assert!(
+            !e.cg_valid.get(0),
+            "dead graph knowledge dies in both modes"
+        );
+        assert_eq!(out, MaintenanceOutcome::default());
+    }
+
+    #[test]
+    fn repair_supergraph_polarity() {
+        // supergraph entry q = 3-path; G0 = 2-path ⊆ q (true bit), but the
+        // cached answer says false; mixed ops force the repair path
+        let store = store_with(vec![path(2)]);
+        let mut e = entry(QueryKind::Supergraph, &[], 1);
+        e.graph = path(3);
+        let c = LogAnalyzer::analyze(&[rec(0, OpType::Ua), rec(0, OpType::Ur)]);
+        let mut budget = 100;
+        let mut out = MaintenanceOutcome::default();
+        refresh_entry_repair(
+            &mut e,
+            &c,
+            &store,
+            Algorithm::Vf2Plus,
+            &mut budget,
+            &mut out,
+        );
+        assert!(e.answer.get(0), "2-path ⊆ 3-path spliced in");
+        assert!(e.cg_valid.get(0));
+        assert_eq!(out.repairs_applied, 1);
+    }
+
+    #[test]
+    fn repair_retro_neutral_stays_free() {
+        use gc_dataset::RetroAnalyzer;
+        let store = store_with(vec![path(3)]);
+        let mut e = entry(QueryKind::Subgraph, &[0], 1);
+        let records = [
+            ChangeRecord::edge(0, OpType::Ua, 1, 2),
+            ChangeRecord::edge(0, OpType::Ur, 1, 2),
+        ];
+        let eff = RetroAnalyzer::analyze(&records);
+        let mut budget = 100;
+        let mut out = MaintenanceOutcome::default();
+        refresh_entry_repair_retro(
+            &mut e,
+            &eff,
+            &store,
+            Algorithm::Vf2Plus,
+            &mut budget,
+            &mut out,
+        );
+        assert!(e.cg_valid.get(0), "CON-R keeps the oscillated graph");
+        assert_eq!(out, MaintenanceOutcome::default(), "no repair work needed");
+    }
+
+    #[test]
+    fn outcome_merges_fieldwise() {
+        let mut a = MaintenanceOutcome {
+            repairs_applied: 1,
+            invalidations_avoided: 2,
+            repair_fallbacks: 3,
+            repair_tests: 4,
+        };
+        a.merge(&MaintenanceOutcome {
+            repairs_applied: 10,
+            invalidations_avoided: 20,
+            repair_fallbacks: 30,
+            repair_tests: 40,
+        });
+        assert_eq!(a.repairs_applied, 11);
+        assert_eq!(a.invalidations_avoided, 22);
+        assert_eq!(a.repair_fallbacks, 33);
+        assert_eq!(a.repair_tests, 44);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use gc_core::entry::CachedQuery;
 use gc_core::validator::{refresh_entry, refresh_entry_retro};
-use gc_core::{baseline_execute, CacheModel, GcConfig, GraphCachePlus};
+use gc_core::{baseline_execute, CacheModel, GcConfig, GraphCachePlus, MaintenanceMode};
 use gc_dataset::{ChangeOp, ChangeRecord, LogAnalyzer, OpType, RetroAnalyzer};
 use gc_graph::generate::random_connected_graph;
 use gc_graph::{BitSet, LabeledGraph};
@@ -132,10 +132,14 @@ fn con_retro_saves_more_tests_on_oscillating_workload() {
         .collect();
 
     let run = |model: CacheModel| {
+        // Pin invalidate-mode maintenance: this test compares how much
+        // knowledge each *validation model* discards, a distinction delta
+        // repair erases by restoring every touched bit to ground truth.
         let mut gc = GraphCachePlus::new(
             GcConfig {
                 model,
                 method: MethodM::new(Algorithm::Vf2Plus),
+                maintenance: MaintenanceMode::Invalidate,
                 ..GcConfig::default()
             },
             initial.clone(),

@@ -59,6 +59,12 @@ impl BitSet {
         Self { blocks: Vec::new() }
     }
 
+    /// Number of 64-bit blocks currently resident (allocation footprint,
+    /// not the count of set bits) — feeds memory accounting.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
     /// Creates an empty bitset with room for `nbits` bits pre-allocated.
     pub fn with_capacity(nbits: usize) -> Self {
         Self {

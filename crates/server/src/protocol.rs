@@ -114,6 +114,13 @@ pub struct ServiceStats {
     /// Pipeline stage spans summed across shards — only populated when
     /// tracing is enabled.
     pub stages: StageSpans,
+    /// Resident bytes of the label-postings indexes, summed across shards
+    /// (0 when the candidate source is the linear scan).
+    pub index_bytes: u64,
+    /// Incremental index syncs that actually replayed log records.
+    pub index_syncs: u64,
+    /// Cumulative wall time of those syncs, in nanoseconds.
+    pub index_sync_nanos: u64,
 }
 
 /// Server → client messages.
@@ -320,13 +327,16 @@ fn encode_health(e: &mut Enc, h: &HealthSnapshot) {
         h.load_shed,
         h.shard_failovers,
         h.baseline_served,
+        h.repairs_applied,
+        h.invalidations_avoided,
+        h.repair_fallbacks,
     ] {
         e.u64(v);
     }
 }
 
 fn decode_health(d: &mut Dec) -> Result<HealthSnapshot, WireError> {
-    let mut v = [0u64; 8];
+    let mut v = [0u64; 11];
     for slot in &mut v {
         *slot = d.u64()?;
     }
@@ -339,6 +349,9 @@ fn decode_health(d: &mut Dec) -> Result<HealthSnapshot, WireError> {
         load_shed: v[5],
         shard_failovers: v[6],
         baseline_served: v[7],
+        repairs_applied: v[8],
+        invalidations_avoided: v[9],
+        repair_fallbacks: v[10],
     })
 }
 
@@ -547,6 +560,9 @@ impl Response {
                 encode_shard_stats(&mut e, &s.shards);
                 encode_histogram(&mut e, &s.latency);
                 encode_spans(&mut e, &s.stages);
+                e.u64(s.index_bytes);
+                e.u64(s.index_syncs);
+                e.u64(s.index_sync_nanos);
             }
             Response::Error(m) => {
                 e.u8(RSP_ERROR);
@@ -597,6 +613,9 @@ impl Response {
                 shards: decode_shard_stats(&mut d)?,
                 latency: decode_histogram(&mut d)?,
                 stages: decode_spans(&mut d)?,
+                index_bytes: d.u64()?,
+                index_syncs: d.u64()?,
+                index_sync_nanos: d.u64()?,
             })),
             RSP_ERROR => Response::Error(d.string()?),
             t => return Err(WireError::Malformed(format!("response tag {t:#x}"))),
@@ -702,6 +721,9 @@ mod tests {
                 load_shed: 6,
                 shard_failovers: 7,
                 baseline_served: 8,
+                repairs_applied: 9,
+                invalidations_avoided: 10,
+                repair_fallbacks: 11,
             },
             shards: vec![
                 ShardStatsSnapshot {
@@ -760,6 +782,9 @@ mod tests {
             ],
             latency: h.snapshot(),
             stages,
+            index_bytes: 81_920,
+            index_syncs: 14,
+            index_sync_nanos: 2_700_000,
         };
         roundtrip_rsp(Response::Stats(Box::new(stats)));
         // an empty snapshot (fresh server, metrics off) also round-trips
@@ -770,7 +795,7 @@ mod tests {
     fn malformed_stats_payloads_are_rejected() {
         // a shard count far beyond the frame must fail fast, not allocate
         let mut evil = vec![RSP_HEALTH];
-        evil.extend_from_slice(&[0u8; 64]); // valid health counters
+        evil.extend_from_slice(&[0u8; 88]); // valid health counters
         evil.extend_from_slice(&u32::MAX.to_be_bytes());
         assert!(matches!(
             Response::decode(&evil),
@@ -779,8 +804,8 @@ mod tests {
         // a histogram with the wrong bucket count is a protocol error
         let good = Response::Stats(Box::default()).encode();
         let mut bad = good.clone();
-        // bucket-count word sits after tag + 2×u64 + 8×u64 health + shard count
-        let at = 1 + 16 + 64 + 4;
+        // bucket-count word sits after tag + 2×u64 + 11×u64 health + shard count
+        let at = 1 + 16 + 88 + 4;
         bad[at..at + 4].copy_from_slice(&63u32.to_be_bytes());
         assert!(matches!(
             Response::decode(&bad),

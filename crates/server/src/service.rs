@@ -141,11 +141,16 @@ impl CacheService {
     /// Full telemetry snapshot — what a `Stats` scrape returns.
     pub fn stats(&self) -> ServiceStats {
         let mut health = self.health.snapshot();
-        let (shards, stages) = {
+        let (shards, stages, index) = {
             let cache = self.lock_cache();
             health.merge(&cache.health_snapshot());
-            (cache.shard_stats(), cache.stage_totals())
+            (
+                cache.shard_stats(),
+                cache.stage_totals(),
+                cache.index_stats(),
+            )
         };
+        let (index_bytes, index_syncs, index_sync_nanos) = index;
         ServiceStats {
             queries: self.queries.get(),
             updates: self.updates.get(),
@@ -153,6 +158,9 @@ impl CacheService {
             shards,
             latency: self.latency.snapshot(),
             stages,
+            index_bytes,
+            index_syncs,
+            index_sync_nanos,
         }
     }
 
@@ -326,6 +334,24 @@ impl ServiceStats {
         exp.counter("gc_audit_evictions_total", &[], self.health.audit_evictions);
         exp.counter("gc_shard_failovers_total", &[], self.health.shard_failovers);
         exp.counter("gc_baseline_served_total", &[], self.health.baseline_served);
+        exp.counter("gc_repairs_applied_total", &[], self.health.repairs_applied);
+        exp.counter(
+            "gc_invalidations_avoided_total",
+            &[],
+            self.health.invalidations_avoided,
+        );
+        exp.counter(
+            "gc_repair_fallbacks_total",
+            &[],
+            self.health.repair_fallbacks,
+        );
+        exp.gauge("gc_label_index_bytes", &[], self.index_bytes);
+        exp.counter("gc_label_index_syncs_total", &[], self.index_syncs);
+        exp.counter(
+            "gc_label_index_sync_nanos_total",
+            &[],
+            self.index_sync_nanos,
+        );
         for (i, s) in self.shards.iter().enumerate() {
             let idx = i.to_string();
             let shard = [("shard", idx.as_str())];
@@ -450,23 +476,45 @@ mod tests {
         }
         let rsp = svc.handle(Request::Ur { id: 0, u: 0, v: 1 }, Instant::now(), None);
         assert!(matches!(rsp, Response::Updated { .. }));
+        // one more query so the index replays the UR (sync is lazy,
+        // riding the next query's prefilter stage)
+        let rsp = svc.handle(
+            Request::Query {
+                kind: QueryKind::Subgraph,
+                deadline_ms: 0,
+                graph: triangle(0),
+            },
+            Instant::now(),
+            None,
+        );
+        assert!(matches!(rsp, Response::Answer { .. }));
 
         let stats = svc.stats();
-        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.queries, 4);
         assert_eq!(stats.updates, 1);
         // every executed query classifies exactly once per shard
         for s in &stats.shards {
-            assert_eq!(s.hits + s.misses, 3);
+            assert_eq!(s.hits + s.misses, 4);
             assert_eq!(s.shed, 0);
         }
         // default config leaves the latency histogram off
         assert_eq!(stats.latency.count, 0);
+        // the default candidate source is the label index: the footprint
+        // gauge is live, and the UR above forced an incremental sync
+        assert!(stats.index_bytes > 0);
+        assert!(stats.index_syncs > 0);
 
         let text = stats.render_prometheus();
-        assert!(text.contains("gc_requests_total{kind=\"query\"} 3"));
+        assert!(text.contains("gc_requests_total{kind=\"query\"} 4"));
         assert!(text.contains("gc_requests_total{kind=\"update\"} 1"));
         assert!(text.contains("gc_shard_hits_total{shard=\"0\"}"));
         assert!(text.contains("gc_request_latency_microseconds_count 0"));
+        assert!(text.contains("gc_repairs_applied_total"));
+        assert!(text.contains("gc_invalidations_avoided_total"));
+        assert!(text.contains("gc_repair_fallbacks_total"));
+        assert!(text.contains("gc_label_index_bytes"));
+        assert!(text.contains("gc_label_index_syncs_total"));
+        assert!(text.contains("gc_label_index_sync_nanos_total"));
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //!   (`GcConfig::metrics`) so paper-setting timings are unaffected.
 //! * **Trace spans** — [`Stage`] names the pipeline stages of one query
 //!   (signature pre-filter, candidate scan, sub-iso verify, hit probe,
-//!   admission, audit); [`StageSpans`] is a per-query record of nanoseconds
+//!   admission, audit, delta repair); [`StageSpans`] is a per-query record
+//!   of nanoseconds
 //!   spent in each, attached to `QueryMetrics` and folded into per-cache
 //!   totals. Span recording sits behind `GcConfig::trace`.
 //!
@@ -258,16 +259,20 @@ pub enum Stage {
     Admission,
     /// Consistency-auditor passes (per cache, not per query).
     Audit,
+    /// Delta-repair maintenance: classifying touched entries and splicing
+    /// repaired bits in place instead of invalidating.
+    Repair,
 }
 
 /// All stages, in the order their spans are laid out in [`StageSpans`].
-pub const STAGES: [Stage; 6] = [
+pub const STAGES: [Stage; 7] = [
     Stage::Prefilter,
     Stage::CandidateScan,
     Stage::Verify,
     Stage::HitProbe,
     Stage::Admission,
     Stage::Audit,
+    Stage::Repair,
 ];
 
 impl Stage {
@@ -280,6 +285,7 @@ impl Stage {
             Stage::HitProbe => "hit_probe",
             Stage::Admission => "admission",
             Stage::Audit => "audit",
+            Stage::Repair => "repair",
         }
     }
 
@@ -291,6 +297,7 @@ impl Stage {
             Stage::HitProbe => 3,
             Stage::Admission => 4,
             Stage::Audit => 5,
+            Stage::Repair => 6,
         }
     }
 }
@@ -596,7 +603,8 @@ mod tests {
                 "verify",
                 "hit_probe",
                 "admission",
-                "audit"
+                "audit",
+                "repair"
             ]
         );
     }

@@ -60,7 +60,7 @@ pub mod prelude {
     pub use gc_core::runtime::ftv_baseline_execute;
     pub use gc_core::{
         baseline_execute, CacheModel, CandidateSource, ConcurrentGraphCache, GcConfig,
-        GraphCachePlus, Policy, QueryOutcome, ShardedGraphCache,
+        GraphCachePlus, MaintenanceMode, Policy, QueryOutcome, ShardedGraphCache,
     };
     pub use gc_dataset::{
         aids::{synthetic_aids, AidsConfig},

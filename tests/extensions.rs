@@ -115,6 +115,11 @@ fn retro_preserves_exact_match_shortcuts_across_neutral_churn() {
             GcConfig {
                 model,
                 method: MethodM::new(Algorithm::Vf2Plus),
+                // Pin invalidate-mode maintenance: this test contrasts
+                // which *validation model* discards validity under
+                // neutral churn, a distinction delta repair erases by
+                // restoring the discarded bits for either model.
+                maintenance: MaintenanceMode::Invalidate,
                 ..GcConfig::default()
             },
             dataset.clone(),

@@ -22,7 +22,16 @@ fn dataset() -> Vec<LabeledGraph> {
 /// shortcut stops firing until the twin refreshes.
 #[test]
 fn exact_match_shortcut_lifecycle() {
-    let mut gc = GraphCachePlus::new(GcConfig::default(), dataset());
+    // Pin invalidate-mode maintenance: this test documents the paper's
+    // §6.3 stale-then-refresh lifecycle, which delta repair deliberately
+    // short-circuits (see the repair-mode contrast test below).
+    let mut gc = GraphCachePlus::new(
+        GcConfig {
+            maintenance: MaintenanceMode::Invalidate,
+            ..GcConfig::default()
+        },
+        dataset(),
+    );
     let q = g(vec![0, 0, 0], &[(0, 1), (1, 2)]); // 0-0-0 path
     let first = gc.execute(&q, QueryKind::Subgraph);
     assert_eq!(first.answer.iter_ones().collect::<Vec<_>>(), vec![0, 1]);
@@ -50,6 +59,28 @@ fn exact_match_shortcut_lifecycle() {
         "refreshed twin shortcuts again"
     );
     assert_eq!(fourth.answer, third.answer);
+}
+
+/// The delta-repair contrast to the lifecycle above: under the default
+/// maintenance mode the UR's impact on the cached twin is repaired in
+/// place, so the exact-match shortcut never goes stale — and the answer
+/// is still the recomputed truth.
+#[test]
+fn exact_match_shortcut_survives_ur_under_repair() {
+    let mut gc = GraphCachePlus::new(GcConfig::default(), dataset());
+    let q = g(vec![0, 0, 0], &[(0, 1), (1, 2)]); // 0-0-0 path
+    let first = gc.execute(&q, QueryKind::Subgraph);
+    assert_eq!(first.answer.iter_ones().collect::<Vec<_>>(), vec![0, 1]);
+
+    gc.apply(ChangeOp::Ur { id: 1, u: 2, v: 3 }).unwrap();
+    let repaired = gc.execute(&q, QueryKind::Subgraph);
+    assert!(
+        repaired.metrics.hits.exact_shortcut,
+        "repair keeps the twin fully valid across the UR"
+    );
+    // graph 1 is now a 3-path plus an isolated vertex — still a match
+    assert_eq!(repaired.answer.iter_ones().collect::<Vec<_>>(), vec![0, 1]);
+    assert!(repaired.metrics.invalidations_avoided > 0);
 }
 
 /// §6.3 case 2 — a cached no-answer query proves empty results for all of
